@@ -1,0 +1,28 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/verify.hpp"
+#include "support/error.hpp"
+
+namespace dtop::bench {
+
+ProtocolRun run_verified(const std::string& label, const PortGraph& g,
+                         NodeId root, const GtdOptions& opt) {
+  ProtocolRun run;
+  run.label = label;
+  run.n = g.num_nodes();
+  run.d = diameter(g);
+  run.e = g.num_wires();
+  run.result = run_gtd(g, root, opt);
+  DTOP_CHECK(run.result.status == RunStatus::kTerminated,
+             "benchmark run did not terminate: " + label);
+  const VerifyResult v = verify_map(g, root, run.result.map);
+  DTOP_CHECK(v.ok, "benchmark run produced a wrong map (" + label +
+                       "): " + v.detail);
+  return run;
+}
+
+std::vector<NodeId> default_sizes() { return {16, 32, 64, 96, 128}; }
+
+}  // namespace dtop::bench

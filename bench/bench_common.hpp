@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harness. Each bench binary regenerates
+// one experiment from EXPERIMENTS.md: it prints the paper-style table on
+// stdout and (where useful) registers google-benchmark timings. The tables
+// are computed from *model time* (global clock ticks), which is exact and
+// machine-independent; google-benchmark covers wall-clock throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gtd.hpp"
+#include "graph/analysis.hpp"
+#include "graph/families.hpp"
+#include "proto/duration_observer.hpp"
+#include "support/table.hpp"
+
+namespace dtop::bench {
+
+// Runs the protocol and returns the result together with the ground-truth
+// quantities the tables report. Aborts loudly if the run is not exact —
+// benchmark numbers from a broken protocol would be meaningless.
+struct ProtocolRun {
+  std::string label;
+  NodeId n = 0;
+  std::uint32_t d = 0;       // diameter
+  std::uint32_t e = 0;       // wires
+  GtdResult result;
+};
+
+ProtocolRun run_verified(const std::string& label, const PortGraph& g,
+                         NodeId root, const GtdOptions& opt = {});
+
+// Standard size sweep used by several experiments.
+std::vector<NodeId> default_sizes();
+
+}  // namespace dtop::bench

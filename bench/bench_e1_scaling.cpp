@@ -1,0 +1,90 @@
+// Experiment E1 — Lemma 4.4: the Global Topology Determination Algorithm
+// terminates in O(N*D).
+//
+// For each family and size we report the measured tick count T, N*D, and
+// the ratio T/(N*D); the ratio staying bounded (and roughly flat per
+// family) across the sweep is the paper's claim. A power-law fit of T
+// against N*D is printed per family.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace dtop;
+using namespace dtop::bench;
+
+void print_table() {
+  const std::vector<std::string> families = {
+      "dering", "biring",   "debruijn", "shufflex", "butterfly",
+      "kautz",  "treeloop", "ccc",      "torus",    "random3"};
+  Table table({"family", "N", "D", "E", "ticks", "N*D", "ticks/(N*D)",
+               "messages"});
+  table.set_caption(
+      "E1 (Lemma 4.4): protocol running time vs the O(N*D) bound");
+
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      fit_data;
+  for (const std::string& fam : families) {
+    for (NodeId size : default_sizes()) {
+      const FamilyInstance fi = make_family(fam, size, /*seed=*/1);
+      // Skip duplicate parameterizations (pow2 families snap to the nearest
+      // size).
+      static std::map<std::string, NodeId> last_n;
+      if (last_n[fam] == fi.graph.num_nodes()) continue;
+      last_n[fam] = fi.graph.num_nodes();
+
+      const ProtocolRun run = run_verified(fam, fi.graph, 0);
+      const double nd = static_cast<double>(run.n) * run.d;
+      table.row()
+          .cell(fam)
+          .cell(static_cast<std::uint64_t>(run.n))
+          .cell(static_cast<std::uint64_t>(run.d))
+          .cell(static_cast<std::uint64_t>(run.e))
+          .cell(static_cast<std::uint64_t>(run.result.stats.ticks))
+          .cell(nd, 0)
+          .cell(static_cast<double>(run.result.stats.ticks) / nd, 2)
+          .cell(run.result.stats.messages);
+      fit_data[fam].first.push_back(nd);
+      fit_data[fam].second.push_back(
+          static_cast<double>(run.result.stats.ticks));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-family fits of ticks = a * (N*D)^b  (b ~= 1 supports "
+               "the O(N*D) claim):\n";
+  Table fits({"family", "exponent b", "prefactor a", "R^2"});
+  for (const auto& [fam, xy] : fit_data) {
+    if (xy.first.size() < 2) continue;
+    const LinearFit f = fit_power_law(xy.first, xy.second);
+    fits.row().cell(fam).cell(f.slope, 3).cell(f.intercept, 2).cell(f.r2, 4);
+  }
+  fits.print(std::cout);
+}
+
+// Wall-clock timing of a representative protocol run.
+void BM_GtdDeBruijn(benchmark::State& state) {
+  const PortGraph g = de_bruijn(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    GtdResult r = run_gtd(g, 0);
+    benchmark::DoNotOptimize(r.stats.ticks);
+  }
+  state.counters["model_ticks"] = static_cast<double>(
+      run_gtd(g, 0).stats.ticks);
+  state.counters["N"] = g.num_nodes();
+}
+BENCHMARK(BM_GtdDeBruijn)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E5 — Lemma 4.2: "after processor A terminates the algorithm in
+// Step 5, the network is left completely undisturbed", with the KILL tokens
+// catching the growing snakes within one loop traversal of the FORWARD/BACK
+// token.
+//
+// Instrumentation: for every RCA we record (a) the tick of the last
+// KILL-induced erasure anywhere in the network and (b) the RCA's completion
+// tick; the margin (completion - last erasure) must be positive. We also
+// count straggler re-erasures (the zombie chase of DESIGN.md 3b) to show the
+// mechanism is live, and audit end-of-run pristineness.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "graph/random_graph.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace dtop;
+using namespace dtop::bench;
+
+void print_table() {
+  Table table({"workload", "#RCAs", "erasures", "re-erasures",
+               "min margin", "mean margin", "end clean"});
+  table.set_caption(
+      "E5 (Lemma 4.2): KILL extinction margin per RCA (ticks between the "
+      "last growing-state erasure and RCA completion)");
+
+  std::vector<std::pair<std::string, PortGraph>> workloads;
+  workloads.emplace_back("dering-32", directed_ring(32));
+  workloads.emplace_back("debruijn-64", de_bruijn(6));
+  workloads.emplace_back("treeloop-63", tree_loop_random(5, 3));
+  workloads.emplace_back(
+      "random3-48", random_strongly_connected(
+                        {.nodes = 48, .delta = 3, .avg_out_degree = 2.0,
+                         .seed = 29}));
+
+  for (const auto& [label, g] : workloads) {
+    DurationObserver obs;
+    GtdOptions opt;
+    opt.observer = &obs;
+    const ProtocolRun run = run_verified(label, g, 0, opt);
+
+    Accumulator margin;
+    std::size_t re_erasures = 0;
+    for (const auto& span : obs.rca()) {
+      Tick last_erase = span.start;
+      std::map<NodeId, int> per_node;
+      for (const auto& er : obs.erasures()) {
+        if (er.bca_lane) continue;
+        if (er.tick >= span.start && er.tick <= span.end) {
+          last_erase = std::max(last_erase, er.tick);
+          if (++per_node[er.node] == 2) ++re_erasures;
+        }
+      }
+      margin.add(static_cast<double>(span.end - last_erase));
+    }
+    table.row()
+        .cell(label)
+        .cell(static_cast<std::uint64_t>(obs.rca().size()))
+        .cell(static_cast<std::uint64_t>(obs.erasures().size()))
+        .cell(static_cast<std::uint64_t>(re_erasures))
+        .cell(margin.min(), 0)
+        .cell(margin.mean(), 1)
+        .cell(run.result.end_state_clean ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nPositive margins on every RCA reproduce Lemma 4.2: the "
+               "growing snakes are gone before the UNMARK token closes the "
+               "loop. Re-erasures > 0 show the straggler chase is a real "
+               "code path, not dead defensive logic.\n";
+}
+
+void BM_CleanupDominatedRun(benchmark::State& state) {
+  const PortGraph g = tree_loop_random(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    GtdResult r = run_gtd(g, 0);
+    benchmark::DoNotOptimize(r.stats.messages);
+  }
+}
+BENCHMARK(BM_CleanupDominatedRun)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

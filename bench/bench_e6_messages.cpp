@@ -1,0 +1,82 @@
+// Experiment E6 — message complexity (implied by the paper's model; not
+// stated as a theorem). Every RCA floods the whole network with growing
+// snakes, so the protocol transmits Theta(E * len) characters per RCA and
+// O(E) RCAs overall. We tabulate characters per family and fit the growth
+// exponent against E*N*D to document the traffic cost of finite-state
+// mapping.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace dtop;
+using namespace dtop::bench;
+
+void print_table() {
+  const std::vector<std::string> families = {"dering", "debruijn", "treeloop",
+                                             "torus", "random3"};
+  Table table({"family", "N", "D", "E", "characters", "chars/tick",
+               "chars/(E*N*D)"});
+  table.set_caption("E6: character traffic of the GTD protocol");
+
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      fit;
+  std::map<std::string, NodeId> last_n;
+  for (const std::string& fam : families) {
+    for (NodeId size : {16u, 32u, 64u, 96u}) {
+      const FamilyInstance fi = make_family(fam, size, 1);
+      if (last_n[fam] == fi.graph.num_nodes()) continue;
+      last_n[fam] = fi.graph.num_nodes();
+      const ProtocolRun run = run_verified(fam, fi.graph, 0);
+      const double chars = static_cast<double>(run.result.stats.messages);
+      const double end = static_cast<double>(run.e) * run.n * run.d;
+      table.row()
+          .cell(fam)
+          .cell(static_cast<std::uint64_t>(run.n))
+          .cell(static_cast<std::uint64_t>(run.d))
+          .cell(static_cast<std::uint64_t>(run.e))
+          .cell(run.result.stats.messages)
+          .cell(chars / static_cast<double>(run.result.stats.ticks), 2)
+          .cell(chars / end, 3);
+      fit[fam].first.push_back(static_cast<double>(run.n));
+      fit[fam].second.push_back(chars);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGrowth exponents (characters ~ N^b per family):\n";
+  Table fits({"family", "exponent b", "R^2"});
+  for (const auto& [fam, xy] : fit) {
+    if (xy.first.size() < 2) continue;
+    const LinearFit f = fit_power_law(xy.first, xy.second);
+    fits.row().cell(fam).cell(f.slope, 2).cell(f.r2, 4);
+  }
+  fits.print(std::cout);
+  std::cout << "\nFlooding every RCA makes traffic super-quadratic in N "
+               "(b ~ 2-3 depending on D's growth) — the price of "
+               "constant-size messages; compare E7 for the baselines.\n";
+}
+
+void BM_MessageThroughput(benchmark::State& state) {
+  const PortGraph g = de_bruijn(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    GtdResult r = run_gtd(g, 0);
+    benchmark::DoNotOptimize(r.stats.messages);
+    state.counters["chars"] = static_cast<double>(r.stats.messages);
+  }
+}
+BENCHMARK(BM_MessageThroughput)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Example: a bidirectional mesh with port-shutdown failures — and the
+// monitoring workflow the protocol enables.
+//
+// The paper's introduction names "bidirectional networks with in-port or
+// out-port shutdown failures at individual processors" as a natural source
+// of genuinely *directed* topologies: once individual unidirectional
+// conduits fail, the operator can no longer assume symmetry. This example
+// plays out the operational loop: map the healthy mesh, let conduits fail,
+// re-map, and diff the two recovered maps to produce a damage report —
+// all from the root's transcripts alone.
+//
+//   $ ./degraded_grid [side] [drop_fraction] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/gtd.hpp"
+#include "core/map_io.hpp"
+#include "core/verify.hpp"
+#include "graph/analysis.hpp"
+#include "graph/canonical.hpp"
+#include "graph/families.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dtop;
+
+  const NodeId side = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 5;
+  const double drop = argc > 2 ? std::atof(argv[2]) : 0.25;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+
+  const PortGraph healthy = degraded_grid(side, side, 0.0, seed);
+  const PortGraph damaged = degraded_grid(side, side, drop, seed);
+
+  std::cout << "Mesh " << side << "x" << side << ": " << healthy.num_wires()
+            << " conduits healthy, " << damaged.num_wires()
+            << " after failures (" << healthy.num_wires() - damaged.num_wires()
+            << " shut down), diameter " << diameter(damaged) << "\n\n";
+
+  // Sortie 1: map the healthy mesh.
+  const GtdResult before = run_gtd(healthy, 0);
+  if (before.status != RunStatus::kTerminated) return 1;
+  const VerifyResult vb = verify_map(healthy, 0, before.map);
+  std::cout << "Baseline map:  " << before.stats.ticks << " ticks, "
+            << (vb.ok ? "exact" : "WRONG") << "\n";
+
+  // Conduits fail. Sortie 2: map again.
+  const GtdResult after = run_gtd(damaged, 0);
+  if (after.status != RunStatus::kTerminated) return 1;
+  const VerifyResult va = verify_map(damaged, 0, after.map);
+  std::cout << "Damage map:    " << after.stats.ticks << " ticks, "
+            << (va.ok ? "exact" : "WRONG") << "\n\n";
+
+  // Damage report from the root's point of view.
+  const MapDiff diff = diff_maps(before.map, after.map);
+  std::cout << "Diff (" << diff.summary() << ")\n";
+  std::size_t shown = 0;
+  for (const auto& e : diff.edges_removed) {
+    if (++shown > 8) {
+      std::cout << "  ... and " << diff.edges_removed.size() - 8 << " more\n";
+      break;
+    }
+    std::cout << "  lost conduit: " << path_to_token(e.from) << " [out "
+              << static_cast<int>(e.out) << "] -> " << path_to_token(e.to)
+              << " [in " << static_cast<int>(e.in) << "]\n";
+  }
+  if (!diff.nodes_removed.empty() || !diff.nodes_added.empty())
+    std::cout << "  note: " << diff.nodes_removed.size() << " renamed away / "
+              << diff.nodes_added.size()
+              << " renamed in — failures rerouted some canonical paths, so "
+                 "those processors changed names (anonymous networks have no "
+                 "identity beyond the root's view).\n";
+
+  // How many links are now one-way only?
+  const PortGraph map = after.map.to_port_graph();
+  int asymmetric = 0;
+  for (WireId w : map.wire_ids()) {
+    const Wire& wr = map.wire(w);
+    bool has_reverse = false;
+    for (Port p = 0; p < map.delta(); ++p) {
+      const WireId rw = map.out_wire(wr.to, p);
+      if (rw != kNoWire && map.wire(rw).to == wr.from) has_reverse = true;
+    }
+    if (!has_reverse) ++asymmetric;
+  }
+  std::cout << "\nAsymmetric links surviving (reverse conduit dead): "
+            << asymmetric
+            << " — the mapping never assumed symmetry, which is the point "
+               "of the directed protocol.\n";
+  return vb.ok && va.ok ? 0 : 1;
+}

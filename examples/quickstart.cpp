@@ -1,0 +1,58 @@
+// Quickstart: build a small directed network, run the Global Topology
+// Determination protocol, and print what the root's master computer
+// recovered.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/gtd.hpp"
+#include "core/verify.hpp"
+#include "graph/analysis.hpp"
+#include "graph/families.hpp"
+#include "graph/graph_io.hpp"
+
+int main() {
+  using namespace dtop;
+
+  // A binary de Bruijn network: 16 identical finite-state processors,
+  // out-degree 2, diameter 4 — the kind of low-diameter directed network on
+  // which the protocol is asymptotically optimal.
+  const PortGraph network = de_bruijn(4);
+  const NodeId root = 0;
+
+  std::cout << "Network: " << network.num_nodes() << " processors, "
+            << network.num_wires() << " unidirectional wires, delta="
+            << static_cast<int>(network.delta())
+            << ", diameter=" << diameter(network) << "\n\n";
+
+  // Run the protocol. The root is nudged out of quiescence; everything else
+  // happens through constant-size characters on the wires.
+  const GtdResult result = run_gtd(network, root);
+  if (result.status != RunStatus::kTerminated) {
+    std::cerr << "protocol did not terminate within the tick budget\n";
+    return 1;
+  }
+
+  std::cout << "Protocol terminated after " << result.stats.ticks
+            << " global clock ticks\n";
+  std::cout << "Characters transmitted: " << result.stats.messages << "\n";
+  std::cout << "Root transcript events: " << result.transcript.events().size()
+            << "\n";
+  std::cout << result.map.summary() << "\n\n";
+
+  // The master computer's map, as edges with port labels.
+  std::cout << "Recovered topology (node 0 is the root; nodes are named by "
+               "their canonical path from the root):\n";
+  for (const MapEdge& e : result.map.edges()) {
+    std::cout << "  n" << e.from << " --[out " << static_cast<int>(e.out_port)
+              << " -> in " << static_cast<int>(e.in_port) << "]--> n" << e.to
+              << "\n";
+  }
+
+  // Verify against the ground truth (Theorem 4.1).
+  const VerifyResult v = verify_map(network, root, result.map);
+  std::cout << "\nVerification: " << (v.ok ? "EXACT MATCH" : v.detail) << "\n";
+  std::cout << "End state clean (Lemma 4.2): "
+            << (result.end_state_clean ? "yes" : "NO") << "\n";
+  return v.ok ? 0 : 1;
+}

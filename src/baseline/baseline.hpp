@@ -1,0 +1,54 @@
+// Baseline mappers (DESIGN.md S13).
+//
+// Both baselines deliberately *break* the paper's model in one dimension so
+// the cost of the finite-state restriction can be measured (experiment E7):
+// processors have globally unique IDs and unbounded memory.
+//
+//  - IdealGather: additionally allows unbounded-size messages. After a wake
+//    flood, every node announces (id, out-port) on each out-port so each
+//    neighbour learns the port-labelled in-edge; all edge records then flood
+//    to the root in parallel, batched without bandwidth limits. The root is
+//    complete after Theta(D) ticks — an information-theoretic floor for any
+//    mapper on the same network.
+//  - LinkStateFlood: word-sized messages, at most one edge record per wire
+//    per tick (an LSA-style flood, the textbook practical mapper). The root
+//    is complete after Theta(E + D) ticks.
+//
+// The GTD protocol's O(N*D) vs these floors quantifies the price of
+// constant-size processors and messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "sim/machine.hpp"
+
+namespace dtop {
+
+struct EdgeRecord {
+  NodeId from = kNoNode;
+  Port out_port = 0;
+  NodeId to = kNoNode;
+  Port in_port = 0;
+
+  bool operator==(const EdgeRecord&) const = default;
+  auto operator<=>(const EdgeRecord&) const = default;
+};
+
+struct BaselineResult {
+  bool complete = false;     // root assembled every edge record
+  Tick completion_tick = 0;  // first tick at which the root was complete
+  Tick ticks = 0;            // total ticks simulated
+  std::uint64_t messages = 0;
+  PortGraph map;             // reconstructed topology (node ids preserved)
+};
+
+// Runs the baseline to completion (or the tick budget) and verifies nothing;
+// callers compare `map` against the truth themselves.
+BaselineResult run_ideal_gather(const PortGraph& g, NodeId root,
+                                Tick max_ticks = 0);
+BaselineResult run_link_state(const PortGraph& g, NodeId root,
+                              Tick max_ticks = 0);
+
+}  // namespace dtop

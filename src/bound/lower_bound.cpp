@@ -1,0 +1,60 @@
+#include "bound/lower_bound.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace dtop {
+
+double log2_topology_count(int depth) {
+  DTOP_REQUIRE(depth >= 1 && depth <= 40, "depth out of range");
+  const double leaves = std::pow(2.0, depth);
+  // Distinct cyclic orders of the leaves: (leaves-1)!. (The paper only
+  // needs "a simple counting argument"; fixing one leaf's position kills
+  // the rotation symmetry, and reflections do not coincide because the loop
+  // is directed.)
+  return log2_factorial(leaves - 1.0);
+}
+
+std::uint64_t tree_loop_nodes(int depth) {
+  DTOP_REQUIRE(depth >= 1 && depth <= 62, "depth out of range");
+  return (std::uint64_t{1} << (depth + 1)) - 1;
+}
+
+double log2_alphabet_size(Port delta) {
+  DTOP_REQUIRE(delta >= 1 && delta <= kMaxDegree, "bad delta");
+  const double d = static_cast<double>(delta);
+  // Snake characters: head/body with labels (out in [delta], in in
+  // [delta] or '*') or tail: 2*d*(d+1) + 1 variants; plus "absent".
+  const double snake = 2.0 * d * (d + 1.0) + 1.0 + 1.0;
+  // Six snake lanes (IG/OG/BG/ID/OD/BD).
+  double log2_size = 6.0 * std::log2(snake);
+  // KILL and BKILL: present/absent.
+  log2_size += 2.0;
+  // RCA loop tokens: FORWARD(i,j) (d^2) + BACK + UNMARK + absent.
+  log2_size += std::log2(d * d + 3.0);
+  // BCA loop tokens: DATA(m) over a one-byte payload + ACK + BUNMARK +
+  // absent.
+  log2_size += std::log2(256.0 + 3.0);
+  // DFS token: (out, in) pair or absent.
+  log2_size += std::log2(d * d + 1.0);
+  return log2_size;
+}
+
+double transcript_bits_per_tick(Port delta) {
+  return static_cast<double>(delta) * log2_alphabet_size(delta);
+}
+
+double lower_bound_ticks_abstract(double log2_topologies, Port delta,
+                                  double log2_alphabet) {
+  DTOP_REQUIRE(log2_alphabet > 0.0, "alphabet must have > 1 symbol");
+  return log2_topologies / (static_cast<double>(delta) * log2_alphabet);
+}
+
+double lower_bound_ticks(int depth, Port delta) {
+  return lower_bound_ticks_abstract(log2_topology_count(depth), delta,
+                                    log2_alphabet_size(delta));
+}
+
+}  // namespace dtop

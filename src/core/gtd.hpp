@@ -1,0 +1,53 @@
+// Public one-call API: run the Global Topology Determination protocol on a
+// network and return everything the experiments need — the recovered map,
+// the transcript, tick/message statistics, and end-state audits.
+//
+// Quickstart:
+//   PortGraph g = de_bruijn(5);
+//   GtdResult r = run_gtd(g, /*root=*/0);
+//   DTOP: r.map holds the port-labelled topology; verify_map(g, 0, r.map).ok
+#pragma once
+
+#include <cstdint>
+
+#include "core/map_builder.hpp"
+#include "core/topology_map.hpp"
+#include "graph/port_graph.hpp"
+#include "proto/gtd_machine.hpp"
+#include "sim/engine.hpp"
+
+namespace dtop {
+
+struct GtdOptions {
+  ProtocolConfig protocol;
+  int num_threads = 1;
+  // 0 = automatic budget (a generous multiple of the O(N*D) bound). The
+  // budget only guards against livelock in broken (ablated) configurations.
+  Tick max_ticks = 0;
+  ProtoObserver* observer = nullptr;  // requires num_threads == 1
+  bool audit_end_state = true;        // check Lemma 4.2 pristineness
+};
+
+struct GtdResult {
+  RunStatus status = RunStatus::kTickBudget;
+  EngineStats stats;
+  Transcript transcript;
+  TopologyMap map{1};
+  std::vector<RcaRecord> records;
+  bool map_complete = false;   // transcript reached kTerminated cleanly
+  bool end_state_clean = false;  // all machines pristine, no wires busy
+};
+
+// Conservative upper bound on the protocol's running time for the given
+// network, used as the default tick budget.
+Tick default_tick_budget(const PortGraph& g);
+
+GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt = {});
+
+using GtdEngine = SyncEngine<GtdMachine>;
+
+// End-state audit helper shared by run_gtd and the tests: every machine
+// pristine (no protocol residue), every wire silent, every DFS finished.
+bool end_state_clean(GtdEngine& engine);
+
+}  // namespace dtop

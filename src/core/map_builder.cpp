@@ -1,0 +1,100 @@
+#include "core/map_builder.hpp"
+
+namespace dtop {
+
+MapBuilder::MapBuilder(Port delta) : map_(delta) {
+  stack_.push_back(map_.root());
+}
+
+void MapBuilder::consume_all(const Transcript& t) {
+  for (const auto& ev : t.events()) consume(ev);
+}
+
+void MapBuilder::consume(const TranscriptEvent& ev) {
+  using K = TranscriptEvent::Kind;
+  DTOP_CHECK(!complete_, "transcript events after termination");
+  switch (ev.kind) {
+    case K::kInit:
+      DTOP_CHECK(!initiated_, "duplicate INIT");
+      initiated_ = true;
+      return;
+    case K::kUpStep:
+      DTOP_CHECK(expect_ == Expect::kUp, "UP step out of order");
+      up_.push_back(PortStep{ev.out, ev.in});
+      return;
+    case K::kUpEnd:
+      DTOP_CHECK(expect_ == Expect::kUp && !up_.empty(),
+                 "UP_END without an up-path");
+      expect_ = Expect::kDown;
+      return;
+    case K::kDownStep:
+      DTOP_CHECK(expect_ == Expect::kDown, "DOWN step out of order");
+      down_.push_back(PortStep{ev.out, ev.in});
+      return;
+    case K::kDownEnd:
+      DTOP_CHECK(expect_ == Expect::kDown && !down_.empty(),
+                 "DOWN_END without a down-path");
+      expect_ = Expect::kToken;
+      return;
+    case K::kForward:
+      DTOP_CHECK(expect_ == Expect::kToken, "FORWARD before the paths");
+      close_record(true, false, ev.out, ev.in, ev.tick);
+      return;
+    case K::kBack:
+      DTOP_CHECK(expect_ == Expect::kToken, "BACK before the paths");
+      close_record(false, false, kNoPort, kNoPort, ev.tick);
+      return;
+    case K::kSelfForward:
+      DTOP_CHECK(expect_ == Expect::kUp && up_.empty() && down_.empty(),
+                 "self event interleaved with an RCA");
+      close_record(true, true, ev.out, ev.in, ev.tick);
+      return;
+    case K::kSelfBack:
+      DTOP_CHECK(expect_ == Expect::kUp && up_.empty() && down_.empty(),
+                 "self event interleaved with an RCA");
+      close_record(false, true, kNoPort, kNoPort, ev.tick);
+      return;
+    case K::kTerminated:
+      DTOP_CHECK(expect_ == Expect::kUp && up_.empty() && down_.empty(),
+                 "terminated mid-RCA");
+      DTOP_CHECK(stack_.size() == 1 && stack_[0] == map_.root(),
+                 "DFS stack unbalanced at termination");
+      complete_ = true;
+      return;
+  }
+}
+
+void MapBuilder::close_record(bool forward, bool self, Port out, Port in,
+                              Tick tick) {
+  RcaRecord rec;
+  rec.up = up_;
+  rec.down = down_;
+  rec.forward = forward;
+  rec.self = self;
+  rec.out = out;
+  rec.in = in;
+  rec.tick = tick;
+  records_.push_back(rec);
+
+  if (forward) {
+    const NodeId current = self ? map_.root() : map_.intern(down_);
+    DTOP_CHECK(!stack_.empty(), "FORWARD with an empty stack");
+    map_.add_edge(stack_.back(), out, current, in);
+    stack_.push_back(current);
+  } else {
+    // The BACK record is produced by the processor the token returned *to*;
+    // the popped entry is the child it returned from.
+    const NodeId current = self ? map_.root() : map_.find(down_);
+    DTOP_CHECK(current != kNoNode,
+               "BACK from a processor never seen before");
+    DTOP_CHECK(stack_.size() >= 2, "BACK would pop the root");
+    stack_.pop_back();
+    DTOP_CHECK(stack_.back() == current,
+               "stack does not track the DFS token position");
+  }
+  up_.clear();
+  down_.clear();
+  expect_ = Expect::kUp;
+}
+
+}  // namespace dtop

@@ -1,0 +1,61 @@
+// The master computer's strategy (paper Section 3).
+//
+// The builder consumes the root's transcript stream. Per RCA it accumulates
+// the up-path (A -> root, from the IG->OG conversion) and the down-path
+// (root -> A, from the ID->OD conversion); the FORWARD/BACK token then
+// closes the record:
+//  - FORWARD(i,j): draw a directed arrow from the processor on top of the
+//    stack, out of out-port i into in-port j of the current processor
+//    (identified — and created if new — by its canonical down-path), then
+//    push the current processor;
+//  - BACK: pop.
+// The root's self-events are the same with an empty down-path.
+#pragma once
+
+#include <vector>
+
+#include "core/topology_map.hpp"
+#include "proto/transcript.hpp"
+
+namespace dtop {
+
+// One completed RCA as observed at the root (kept for auditing: the test
+// suite replays these against offline canonical-path predictions).
+struct RcaRecord {
+  PortPath up;     // canonical path A -> root (empty for self-events)
+  PortPath down;   // canonical path root -> A
+  bool forward = false;
+  bool self = false;
+  Port out = kNoPort, in = kNoPort;  // FORWARD payload
+  Tick tick = 0;
+};
+
+class MapBuilder {
+ public:
+  explicit MapBuilder(Port delta);
+
+  void consume(const TranscriptEvent& ev);
+  void consume_all(const Transcript& t);
+
+  bool complete() const { return complete_; }
+  const TopologyMap& map() const { return map_; }
+  const std::vector<RcaRecord>& records() const { return records_; }
+
+  // Stack depth audit: after kTerminated the stack must hold only the root.
+  std::size_t stack_depth() const { return stack_.size(); }
+
+ private:
+  enum class Expect : std::uint8_t { kUp, kDown, kToken };
+
+  void close_record(bool forward, bool self, Port out, Port in, Tick tick);
+
+  TopologyMap map_;
+  std::vector<NodeId> stack_;
+  std::vector<RcaRecord> records_;
+  PortPath up_, down_;
+  Expect expect_ = Expect::kUp;
+  bool initiated_ = false;
+  bool complete_ = false;
+};
+
+}  // namespace dtop

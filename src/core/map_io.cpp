@@ -1,0 +1,140 @@
+#include "core/map_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace dtop {
+
+std::string path_to_token(const PortPath& path) {
+  if (path.empty()) return "-";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) os << "/";
+    os << static_cast<int>(path[i].out) << ":" << static_cast<int>(path[i].in);
+  }
+  return os.str();
+}
+
+PortPath path_from_token(const std::string& token) {
+  PortPath path;
+  if (token == "-") return path;
+  std::istringstream is(token);
+  std::string hop;
+  while (std::getline(is, hop, '/')) {
+    const auto colon = hop.find(':');
+    DTOP_REQUIRE(colon != std::string::npos, "bad path token: " + token);
+    const int out = std::stoi(hop.substr(0, colon));
+    const int in = std::stoi(hop.substr(colon + 1));
+    DTOP_REQUIRE(out >= 0 && out < kMaxDegree && in >= 0 && in < kMaxDegree,
+                 "port out of range in path token");
+    path.push_back(
+        PortStep{static_cast<Port>(out), static_cast<Port>(in)});
+  }
+  DTOP_REQUIRE(!path.empty(), "empty non-root path token");
+  return path;
+}
+
+void write_map(std::ostream& os, const TopologyMap& map) {
+  os << "dtop-map v1 " << static_cast<int>(map.delta()) << " "
+     << map.node_count() << " " << map.edge_count() << "\n";
+  for (NodeId v = 0; v < map.node_count(); ++v)
+    os << v << " " << path_to_token(map.path_of(v)) << "\n";
+  for (const MapEdge& e : map.edges())
+    os << e.from << " " << static_cast<int>(e.out_port) << " " << e.to << " "
+       << static_cast<int>(e.in_port) << "\n";
+}
+
+std::string map_to_string(const TopologyMap& map) {
+  std::ostringstream os;
+  write_map(os, map);
+  return os.str();
+}
+
+TopologyMap read_map(std::istream& is) {
+  std::string magic, version;
+  int delta = 0;
+  NodeId nodes = 0;
+  std::size_t edges = 0;
+  is >> magic >> version >> delta >> nodes >> edges;
+  DTOP_REQUIRE(magic == "dtop-map" && version == "v1",
+               "not a dtop-map v1 stream");
+  DTOP_REQUIRE(is.good() && nodes >= 1, "truncated map header");
+  TopologyMap map(static_cast<Port>(delta));
+  for (NodeId i = 0; i < nodes; ++i) {
+    NodeId id;
+    std::string token;
+    is >> id >> token;
+    DTOP_REQUIRE(is.good(), "truncated node table");
+    const NodeId got = map.intern(path_from_token(token));
+    DTOP_REQUIRE(got == id, "node table out of order");
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    NodeId from, to;
+    int out, in;
+    is >> from >> out >> to >> in;
+    DTOP_REQUIRE(is.good(), "truncated edge table");
+    map.add_edge(from, static_cast<Port>(out), to, static_cast<Port>(in));
+  }
+  return map;
+}
+
+TopologyMap map_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_map(is);
+}
+
+namespace {
+
+using EdgeKey = std::tuple<PortPath, Port, PortPath, Port>;
+
+std::set<EdgeKey> edge_set(const TopologyMap& map) {
+  std::set<EdgeKey> out;
+  for (const MapEdge& e : map.edges())
+    out.insert({map.path_of(e.from), e.out_port, map.path_of(e.to),
+                e.in_port});
+  return out;
+}
+
+}  // namespace
+
+MapDiff diff_maps(const TopologyMap& before, const TopologyMap& after) {
+  MapDiff diff;
+
+  std::set<PortPath> before_nodes, after_nodes;
+  for (NodeId v = 0; v < before.node_count(); ++v)
+    before_nodes.insert(before.path_of(v));
+  for (NodeId v = 0; v < after.node_count(); ++v)
+    after_nodes.insert(after.path_of(v));
+  for (const PortPath& p : after_nodes)
+    if (!before_nodes.count(p)) diff.nodes_added.push_back(p);
+  for (const PortPath& p : before_nodes)
+    if (!after_nodes.count(p)) diff.nodes_removed.push_back(p);
+
+  const std::set<EdgeKey> eb = edge_set(before);
+  const std::set<EdgeKey> ea = edge_set(after);
+  for (const EdgeKey& k : ea) {
+    if (!eb.count(k))
+      diff.edges_added.push_back(MapDiff::Edge{
+          std::get<0>(k), std::get<1>(k), std::get<2>(k), std::get<3>(k)});
+  }
+  for (const EdgeKey& k : eb) {
+    if (!ea.count(k))
+      diff.edges_removed.push_back(MapDiff::Edge{
+          std::get<0>(k), std::get<1>(k), std::get<2>(k), std::get<3>(k)});
+  }
+  return diff;
+}
+
+std::string MapDiff::summary() const {
+  std::ostringstream os;
+  os << "+" << nodes_added.size() << "/-" << nodes_removed.size()
+     << " nodes, +" << edges_added.size() << "/-" << edges_removed.size()
+     << " edges";
+  return os.str();
+}
+
+}  // namespace dtop

@@ -1,0 +1,65 @@
+// Persistence and comparison of recovered topology maps.
+//
+// The paper motivates re-running the mapping protocol when the network may
+// have changed ("if a processor is randomly added or removed ... a global
+// topology determination is likely to produce an incorrect result" — so an
+// operator maps, waits, re-maps, and diffs). This module gives the master
+// computer those tools: a stable text format for maps and a structural
+// diff between two runs keyed on the nodes' canonical-path names.
+//
+// Caveat recorded here once: canonical paths are relative to the topology
+// *at mapping time*. If a change reroutes the canonical BFS tree, a
+// physically unchanged processor can be renamed; the diff then reports it
+// as removed+added. That is fundamental to anonymous networks — identity
+// only exists relative to the root's view — and is exactly the behaviour a
+// monitoring operator must be aware of.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/topology_map.hpp"
+
+namespace dtop {
+
+// Text format:
+//   dtop-map v1 <delta> <nodes> <edges>
+//   <node-id> <path>          one per node; path = "o:i/o:i/..." or "-"
+//   <from> <out> <to> <in>    one per edge
+void write_map(std::ostream& os, const TopologyMap& map);
+std::string map_to_string(const TopologyMap& map);
+
+TopologyMap read_map(std::istream& is);
+TopologyMap map_from_string(const std::string& text);
+
+// Canonical-path rendering used by the map format ("-" for the root).
+std::string path_to_token(const PortPath& path);
+PortPath path_from_token(const std::string& token);
+
+struct MapDiff {
+  // Nodes named by canonical path present in exactly one of the maps.
+  std::vector<PortPath> nodes_added;    // in `after` only
+  std::vector<PortPath> nodes_removed;  // in `before` only
+  // Edges (from-path, out, to-path, in) present in exactly one map,
+  // restricted to endpoints whose names exist in the respective map.
+  struct Edge {
+    PortPath from;
+    Port out = 0;
+    PortPath to;
+    Port in = 0;
+    bool operator==(const Edge&) const = default;
+  };
+  std::vector<Edge> edges_added;
+  std::vector<Edge> edges_removed;
+
+  bool empty() const {
+    return nodes_added.empty() && nodes_removed.empty() &&
+           edges_added.empty() && edges_removed.empty();
+  }
+  std::string summary() const;
+};
+
+MapDiff diff_maps(const TopologyMap& before, const TopologyMap& after);
+
+}  // namespace dtop

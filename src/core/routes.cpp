@@ -1,0 +1,86 @@
+#include "core/routes.hpp"
+
+#include <queue>
+
+#include "graph/analysis.hpp"
+
+namespace dtop {
+
+RoutePlanner::RoutePlanner(const TopologyMap& map)
+    : graph_(map.to_port_graph()) {
+  const NodeId n = graph_.num_nodes();
+  dist_.assign(n, {});
+  hop_.assign(n, {});
+
+  // Per destination: reverse BFS for distances, then a deterministic
+  // next-hop choice (lowest out-port among those that decrease distance).
+  for (NodeId dest = 0; dest < n; ++dest) {
+    dist_[dest] = bfs_distances_to(graph_, dest);
+    auto& hops = hop_[dest];
+    hops.assign(n, kNoPort);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == dest || dist_[dest][v] == kUnreachable) continue;
+      for (Port p = 0; p < graph_.delta(); ++p) {
+        const WireId w = graph_.out_wire(v, p);
+        if (w == kNoWire) continue;
+        const NodeId next = graph_.wire(w).to;
+        if (dist_[dest][next] + 1 == dist_[dest][v]) {
+          hops[v] = p;
+          break;  // lowest-port tie-break
+        }
+      }
+      DTOP_CHECK(hops[v] != kNoPort, "route table hole on a reachable pair");
+    }
+  }
+}
+
+std::uint32_t RoutePlanner::distance(NodeId from, NodeId to) const {
+  DTOP_REQUIRE(from < node_count() && to < node_count(), "bad node");
+  return dist_[to][from];
+}
+
+Port RoutePlanner::next_hop(NodeId from, NodeId to) const {
+  DTOP_REQUIRE(from < node_count() && to < node_count(), "bad node");
+  return hop_[to][from];
+}
+
+PortPath RoutePlanner::route(NodeId from, NodeId to) const {
+  DTOP_REQUIRE(from < node_count() && to < node_count(), "bad node");
+  DTOP_REQUIRE(dist_[to][from] != kUnreachable, "unreachable pair");
+  PortPath path;
+  NodeId cur = from;
+  while (cur != to) {
+    const Port p = hop_[to][cur];
+    const Wire& w = graph_.wire(graph_.out_wire(cur, p));
+    path.push_back(PortStep{w.out_port, w.in_port});
+    cur = w.to;
+    DTOP_CHECK(path.size() <= graph_.num_nodes(), "routing loop");
+  }
+  return path;
+}
+
+double RoutePlanner::average_route_length() const {
+  const NodeId n = node_count();
+  double sum = 0.0;
+  std::uint64_t pairs = 0;
+  for (NodeId d = 0; d < n; ++d) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == d) continue;
+      DTOP_CHECK(dist_[d][v] != kUnreachable, "map not strongly connected");
+      sum += static_cast<double>(dist_[d][v]);
+      ++pairs;
+    }
+  }
+  return pairs ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+std::uint32_t RoutePlanner::worst_route_length() const {
+  const NodeId n = node_count();
+  std::uint32_t worst = 0;
+  for (NodeId d = 0; d < n; ++d)
+    for (NodeId v = 0; v < n; ++v)
+      if (v != d) worst = std::max(worst, dist_[d][v]);
+  return worst;
+}
+
+}  // namespace dtop

@@ -1,0 +1,54 @@
+// Route planning on recovered maps.
+//
+// The paper's opening motivation: "Mapping the global network topology is an
+// extremely important primitive utilized for message routing". This module
+// is that downstream consumer: given the master computer's TopologyMap it
+// produces deterministic shortest source-routes (sequences of port steps a
+// constant-size header could carry) and all-pairs next-hop tables.
+//
+// Determinism matches the protocol's own convention: ties between equal
+// length routes break toward the lowest out-port, so a recomputed table on
+// an unchanged network is identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology_map.hpp"
+#include "graph/canonical.hpp"
+
+namespace dtop {
+
+class RoutePlanner {
+ public:
+  explicit RoutePlanner(const TopologyMap& map);
+
+  NodeId node_count() const { return graph_.num_nodes(); }
+  const PortGraph& graph() const { return graph_; }
+
+  // Hop distance from -> to (kUnreachable only on malformed maps; recovered
+  // maps of strongly-connected networks are strongly connected).
+  std::uint32_t distance(NodeId from, NodeId to) const;
+
+  // The out-port `from` should use toward `to`; kNoPort for from == to.
+  Port next_hop(NodeId from, NodeId to) const;
+
+  // Full source route from -> to as port steps (empty for from == to).
+  PortPath route(NodeId from, NodeId to) const;
+
+  // Mean hop distance over all ordered pairs (a network-quality metric an
+  // operator would chart after each mapping sortie).
+  double average_route_length() const;
+
+  // Largest hop distance (== the network diameter when the map is exact).
+  std::uint32_t worst_route_length() const;
+
+ private:
+  PortGraph graph_;
+  // Indexed [destination][node]: distance and chosen out-port toward the
+  // destination.
+  std::vector<std::vector<std::uint32_t>> dist_;
+  std::vector<std::vector<Port>> hop_;
+};
+
+}  // namespace dtop

@@ -1,0 +1,59 @@
+#include "core/topology_map.hpp"
+
+#include <sstream>
+
+namespace dtop {
+
+TopologyMap::TopologyMap(Port delta) : delta_(delta) {
+  // The root is known from the start: "the stack will initially consist of
+  // only the root".
+  paths_.push_back(PortPath{});
+  index_[PortPath{}] = 0;
+}
+
+NodeId TopologyMap::intern(const PortPath& path) {
+  auto [it, inserted] = index_.try_emplace(path, node_count());
+  if (inserted) paths_.push_back(path);
+  return it->second;
+}
+
+NodeId TopologyMap::find(const PortPath& path) const {
+  auto it = index_.find(path);
+  return it == index_.end() ? kNoNode : it->second;
+}
+
+const PortPath& TopologyMap::path_of(NodeId v) const {
+  DTOP_REQUIRE(v < paths_.size(), "TopologyMap::path_of: bad node");
+  return paths_[v];
+}
+
+void TopologyMap::add_edge(NodeId from, Port out_port, NodeId to,
+                           Port in_port) {
+  DTOP_REQUIRE(from < paths_.size() && to < paths_.size(),
+               "add_edge: unknown node");
+  DTOP_REQUIRE(out_port < delta_ && in_port < delta_, "add_edge: bad port");
+  auto [it, inserted] = out_index_.try_emplace({from, out_port}, edges_.size());
+  if (!inserted) {
+    const MapEdge& existing = edges_[it->second];
+    DTOP_CHECK(existing.to == to && existing.in_port == in_port,
+               "conflicting edges mapped for one out-port");
+    return;  // benign exact duplicate (should not happen; tolerated)
+  }
+  edges_.push_back(MapEdge{from, out_port, to, in_port});
+}
+
+PortGraph TopologyMap::to_port_graph() const {
+  PortGraph g(node_count(), delta_);
+  for (const MapEdge& e : edges_)
+    g.connect(e.from, e.out_port, e.to, e.in_port);
+  return g;
+}
+
+std::string TopologyMap::summary() const {
+  std::ostringstream os;
+  os << "TopologyMap: " << node_count() << " nodes, " << edges_.size()
+     << " edges, delta=" << static_cast<int>(delta_);
+  return os.str();
+}
+
+}  // namespace dtop

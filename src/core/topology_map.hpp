@@ -1,0 +1,68 @@
+// The map the master computer draws (paper Section 3).
+//
+// Processors are identified by their *canonical down-path*: the canonical
+// shortest path from the root, read off the ID->OD conversion during the
+// processor's RCA ("the computer can tell whether the current processor A
+// has already been marked on the map"). The root's identity is the empty
+// path. Edges carry full port labels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/canonical.hpp"
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+struct MapEdge {
+  NodeId from = kNoNode;
+  Port out_port = 0;
+  NodeId to = kNoNode;
+  Port in_port = 0;
+
+  bool operator==(const MapEdge&) const = default;
+  auto operator<=>(const MapEdge&) const = default;
+};
+
+class TopologyMap {
+ public:
+  explicit TopologyMap(Port delta);
+
+  Port delta() const { return delta_; }
+
+  // Node 0 is always the root (empty canonical path).
+  NodeId root() const { return 0; }
+  NodeId node_count() const { return static_cast<NodeId>(paths_.size()); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  // Returns the node named by `path`, creating it on first sight.
+  NodeId intern(const PortPath& path);
+
+  // Lookup without creating; kNoNode when absent.
+  NodeId find(const PortPath& path) const;
+
+  const PortPath& path_of(NodeId v) const;
+
+  // Adds a port-labelled edge; rejects duplicates (each network edge is
+  // traversed forward exactly once, so a duplicate means a protocol bug).
+  void add_edge(NodeId from, Port out_port, NodeId to, Port in_port);
+
+  const std::vector<MapEdge>& edges() const { return edges_; }
+
+  // Materializes the map as a PortGraph (root == node 0).
+  PortGraph to_port_graph() const;
+
+  std::string summary() const;
+
+ private:
+  Port delta_;
+  std::vector<PortPath> paths_;           // node id -> canonical down-path
+  std::map<PortPath, NodeId> index_;      // canonical down-path -> node id
+  std::vector<MapEdge> edges_;
+  std::map<std::pair<NodeId, Port>, std::size_t> out_index_;  // duplicate guard
+};
+
+}  // namespace dtop

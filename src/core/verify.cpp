@@ -1,0 +1,65 @@
+#include "core/verify.hpp"
+
+#include <vector>
+
+#include "graph/canonical.hpp"
+#include "graph/isomorphism.hpp"
+
+namespace dtop {
+
+VerifyResult verify_map(const PortGraph& truth, NodeId root,
+                        const TopologyMap& map) {
+  VerifyResult r;
+
+  if (map.node_count() != truth.num_nodes()) {
+    r.detail = "node count: map=" + std::to_string(map.node_count()) +
+               " truth=" + std::to_string(truth.num_nodes());
+    return r;
+  }
+  if (map.edge_count() != truth.num_wires()) {
+    r.detail = "edge count: map=" + std::to_string(map.edge_count()) +
+               " truth=" + std::to_string(truth.num_wires());
+    return r;
+  }
+
+  // Canonical naming check.
+  const CanonicalTree tree = canonical_bfs_tree(truth, root);
+  std::vector<bool> hit(truth.num_nodes(), false);
+  for (NodeId v = 0; v < map.node_count(); ++v) {
+    const PortPath& path = map.path_of(v);
+    NodeId reached;
+    try {
+      reached = walk_path(truth, root, path);
+    } catch (const Error& e) {
+      r.detail = "down-path of map node " + std::to_string(v) +
+                 " does not exist in the truth: " + e.what();
+      return r;
+    }
+    if (hit[reached]) {
+      r.detail = "two map nodes name the same true node " +
+                 std::to_string(reached);
+      return r;
+    }
+    hit[reached] = true;
+    const PortPath expected = canonical_path(truth, tree, reached);
+    if (expected != path) {
+      r.detail = "map node " + std::to_string(v) +
+                 " is not named by the canonical path: got " +
+                 to_string(path) + " expected " + to_string(expected);
+      return r;
+    }
+  }
+
+  // Full port-labelled isomorphism.
+  const PortGraph rebuilt = map.to_port_graph();
+  const IsoResult iso = rooted_isomorphic(truth, root, rebuilt, map.root());
+  if (!iso.isomorphic) {
+    r.detail = "isomorphism: " + iso.mismatch;
+    return r;
+  }
+
+  r.ok = true;
+  return r;
+}
+
+}  // namespace dtop

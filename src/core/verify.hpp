@@ -1,0 +1,29 @@
+// Verification of a recovered map against the ground-truth network
+// (Theorem 4.1: the root's computer "accurately maps the given directed
+// network").
+//
+// Three independent checks:
+//  1. port-labelled rooted isomorphism between the recovered map and the
+//     truth (the strongest single statement of correctness);
+//  2. canonical naming: every map node's down-path, replayed on the true
+//     network from the root, must reach a distinct true node, and must equal
+//     the offline-predicted canonical path to that node;
+//  3. cardinalities: node and edge counts match exactly.
+#pragma once
+
+#include <string>
+
+#include "core/topology_map.hpp"
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string detail;  // first failure, empty when ok
+};
+
+VerifyResult verify_map(const PortGraph& truth, NodeId root,
+                        const TopologyMap& map);
+
+}  // namespace dtop

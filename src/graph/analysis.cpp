@@ -1,0 +1,146 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dtop {
+namespace {
+
+// Forward adjacency as node lists (ignoring ports).
+std::vector<std::vector<NodeId>> forward_adjacency(const PortGraph& g) {
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (WireId w : g.wire_ids()) {
+    const Wire& wr = g.wire(w);
+    adj[wr.from].push_back(wr.to);
+  }
+  return adj;
+}
+
+std::vector<std::vector<NodeId>> reverse_adjacency(const PortGraph& g) {
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (WireId w : g.wire_ids()) {
+    const Wire& wr = g.wire(w);
+    adj[wr.to].push_back(wr.from);
+  }
+  return adj;
+}
+
+std::vector<std::uint32_t> bfs(const std::vector<std::vector<NodeId>>& adj,
+                               NodeId src) {
+  std::vector<std::uint32_t> dist(adj.size(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : adj[u]) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const PortGraph& g, NodeId src) {
+  return bfs(forward_adjacency(g), src);
+}
+
+std::vector<std::uint32_t> bfs_distances_to(const PortGraph& g, NodeId dst) {
+  return bfs(reverse_adjacency(g), dst);
+}
+
+SccResult strongly_connected_components(const PortGraph& g) {
+  // Iterative Tarjan.
+  const NodeId n = g.num_nodes();
+  auto adj = forward_adjacency(g);
+  SccResult r;
+  r.component.assign(n, kUnreachable);
+
+  std::vector<std::uint32_t> index(n, kUnreachable), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnreachable) continue;
+    call.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      if (f.child < adj[f.v].size()) {
+        const NodeId w = adj[f.v][f.child++];
+        if (index[w] == kUnreachable) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            r.component[w] = r.count;
+            if (w == f.v) break;
+          }
+          ++r.count;
+        }
+        const NodeId v = f.v;
+        call.pop_back();
+        if (!call.empty())
+          lowlink[call.back().v] =
+              std::min(lowlink[call.back().v], lowlink[v]);
+      }
+    }
+  }
+  return r;
+}
+
+bool is_strongly_connected(const PortGraph& g) {
+  return strongly_connected_components(g).count == 1;
+}
+
+std::uint32_t diameter(const PortGraph& g) {
+  DTOP_REQUIRE(is_strongly_connected(g), "diameter of non-SC graph");
+  auto adj = forward_adjacency(g);
+  std::uint32_t d = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs(adj, v);
+    for (std::uint32_t x : dist) {
+      DTOP_CHECK(x != kUnreachable, "unreachable pair in SC graph");
+      d = std::max(d, x);
+    }
+  }
+  return d;
+}
+
+std::uint32_t max_round_trip(const PortGraph& g, NodeId root) {
+  const auto from_root = bfs_distances(g, root);
+  const auto to_root = bfs_distances_to(g, root);
+  std::uint32_t m = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DTOP_CHECK(from_root[v] != kUnreachable && to_root[v] != kUnreachable,
+               "max_round_trip requires strong connectivity");
+    m = std::max(m, from_root[v] + to_root[v]);
+  }
+  return m;
+}
+
+}  // namespace dtop

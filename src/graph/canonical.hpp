@@ -1,0 +1,56 @@
+// Canonical breadth-first trees and canonical shortest paths.
+//
+// Definition 4.1 of the paper: the *canonical shortest path* from A to B is
+// the path along which the first surviving growing snake released from A
+// travels to B. Growing snakes flood all out-ports simultaneously and a
+// processor accepts only its first-arriving character, breaking simultaneous
+// arrivals by lowest in-port number. The resulting tree is therefore fully
+// determined by the graph: each node's parent wire is the one coming from a
+// node one hop closer to the source whose *in-port number at the node* is
+// smallest.
+//
+// This module computes that tree offline; the test suite asserts that the
+// protocol's snakes carve exactly these trees, and the master computer uses
+// canonical root paths as processor identities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+// One hop of a path: out-port of the tail node, in-port of the head node.
+struct PortStep {
+  Port out = 0;
+  Port in = 0;
+  bool operator==(const PortStep&) const = default;
+  auto operator<=>(const PortStep&) const = default;
+};
+
+using PortPath = std::vector<PortStep>;
+
+std::string to_string(const PortPath& path);
+
+struct CanonicalTree {
+  NodeId source = kNoNode;
+  std::vector<std::uint32_t> dist;      // hop distance from source
+  std::vector<WireId> parent_wire;      // kNoWire at source / unreachable
+};
+
+// Flood tree of the growing snakes released from `source`.
+CanonicalTree canonical_bfs_tree(const PortGraph& g, NodeId source);
+
+// The canonical shortest path source -> v (sequence of port steps).
+// Requires v reachable from source.
+PortPath canonical_path(const PortGraph& g, const CanonicalTree& tree,
+                        NodeId v);
+
+// Walks `path` from `start` following out-ports; checks that each hop's
+// in-port matches. Returns the node reached. Throws if the path does not
+// exist in the graph.
+NodeId walk_path(const PortGraph& g, NodeId start, const PortPath& path);
+
+}  // namespace dtop

@@ -1,0 +1,335 @@
+#include "graph/families.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "graph/analysis.hpp"
+#include "graph/random_graph.hpp"
+
+namespace dtop {
+
+PortGraph directed_ring(NodeId n) {
+  DTOP_REQUIRE(n >= 2, "directed_ring needs n >= 2");
+  PortGraph g(n, 2);
+  for (NodeId v = 0; v < n; ++v) g.connect(v, 0, (v + 1) % n, 0);
+  return g;
+}
+
+PortGraph bidirectional_ring(NodeId n) {
+  DTOP_REQUIRE(n >= 2, "bidirectional_ring needs n >= 2");
+  PortGraph g(n, 2);
+  for (NodeId v = 0; v < n; ++v) {
+    g.connect(v, 0, (v + 1) % n, 0);           // clockwise
+    g.connect((v + 1) % n, 1, v, 1);           // counter-clockwise
+  }
+  return g;
+}
+
+PortGraph tree_loop(int depth, const std::vector<std::uint32_t>& leaf_order) {
+  DTOP_REQUIRE(depth >= 1 && depth <= 24, "tree_loop depth out of range");
+  const NodeId leaves = NodeId{1} << depth;
+  const NodeId n = (NodeId{1} << (depth + 1)) - 1;  // heap-numbered full tree
+  DTOP_REQUIRE(leaf_order.size() == leaves,
+               "leaf_order must be a permutation of the leaves");
+  // Ports: 0 = left child link, 1 = right child link, 2 = parent link.
+  // Leaves use port 0 for the loop (they have no children).
+  PortGraph g(n, 3);
+  for (NodeId v = 0; v < n - leaves; ++v) {  // internal nodes in heap order
+    const NodeId l = 2 * v + 1, r = 2 * v + 2;
+    g.connect(v, 0, l, 2);  // down to left child
+    g.connect(l, 2, v, 0);  // up from left child
+    g.connect(v, 1, r, 2);  // down to right child
+    g.connect(r, 2, v, 1);  // up from right child
+  }
+  // Directed loop through the leaves in the permuted order.
+  std::vector<bool> seen(leaves, false);
+  const NodeId first_leaf = n - leaves;
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    DTOP_REQUIRE(leaf_order[i] < leaves && !seen[leaf_order[i]],
+                 "leaf_order is not a permutation");
+    seen[leaf_order[i]] = true;
+    const NodeId a = first_leaf + leaf_order[i];
+    const NodeId b = first_leaf + leaf_order[(i + 1) % leaves];
+    g.connect(a, 0, b, 0);
+  }
+  return g;
+}
+
+PortGraph tree_loop_random(int depth, std::uint64_t seed) {
+  const NodeId leaves = NodeId{1} << depth;
+  std::vector<std::uint32_t> order(leaves);
+  for (std::uint32_t i = 0; i < leaves; ++i) order[i] = i;
+  Rng rng(seed);
+  rng.shuffle(order);
+  return tree_loop(depth, order);
+}
+
+PortGraph de_bruijn(int k) {
+  DTOP_REQUIRE(k >= 1 && k <= 20, "de_bruijn k out of range");
+  const NodeId n = NodeId{1} << k;
+  PortGraph g(n, 2);
+  for (NodeId v = 0; v < n; ++v)
+    for (Port b = 0; b < 2; ++b) g.connect_auto(v, (2 * v + b) % n);
+  return g;
+}
+
+PortGraph shuffle_exchange(int k) {
+  DTOP_REQUIRE(k >= 2 && k <= 20, "shuffle_exchange k out of range");
+  const NodeId n = NodeId{1} << k;
+  PortGraph g(n, 2);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId shuffled =
+        ((v << 1) | (v >> (k - 1))) & (n - 1);  // cyclic left shift
+    g.connect_auto(v, shuffled);                 // out-port 0: shuffle
+    g.connect_auto(v, v ^ 1u);                   // out-port 1: exchange
+  }
+  return g;
+}
+
+PortGraph wrapped_butterfly(int k) {
+  DTOP_REQUIRE(k >= 2 && k <= 16, "wrapped_butterfly k out of range");
+  const NodeId rows = NodeId{1} << k;
+  const NodeId n = rows * static_cast<NodeId>(k);
+  auto id = [&](int level, NodeId row) {
+    return row * static_cast<NodeId>(k) + static_cast<NodeId>(level);
+  };
+  PortGraph g(n, 2);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (int i = 0; i < k; ++i) {
+      const int j = (i + 1) % k;
+      g.connect_auto(id(i, r), id(j, r));                    // straight
+      g.connect_auto(id(i, r), id(j, r ^ (NodeId{1} << i))); // cross
+    }
+  }
+  return g;
+}
+
+PortGraph kautz(int k) {
+  DTOP_REQUIRE(k >= 1 && k <= 20, "kautz k out of range");
+  // Vertices: strings s_1..s_k over {0,1,2} with s_i != s_{i+1}.
+  // Enumerate as (first symbol, sequence of relative choices in {0,1}):
+  // the next symbol is the smaller (choice 0) or larger (choice 1) of the
+  // two symbols different from the current one.
+  const NodeId n = 3u * (NodeId{1} << (k - 1));
+  auto decode = [&](NodeId id) {
+    std::vector<int> s(static_cast<std::size_t>(k));
+    s[0] = static_cast<int>(id / (NodeId{1} << (k - 1)));
+    NodeId rest = id % (NodeId{1} << (k - 1));
+    for (int i = 1; i < k; ++i) {
+      const int choice = static_cast<int>((rest >> (k - 1 - i)) & 1u);
+      int options[2], m = 0;
+      for (int x = 0; x < 3; ++x)
+        if (x != s[i - 1]) options[m++] = x;
+      s[i] = options[choice];
+    }
+    return s;
+  };
+  std::map<std::vector<int>, NodeId> index;
+  for (NodeId id = 0; id < n; ++id) index[decode(id)] = id;
+
+  PortGraph g(n, 2);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto s = decode(id);
+    int options[2], m = 0;
+    for (int x = 0; x < 3; ++x)
+      if (x != s[k - 1]) options[m++] = x;
+    for (Port b = 0; b < 2; ++b) {
+      std::vector<int> t(s.begin() + 1, s.end());
+      t.push_back(options[b]);
+      g.connect_auto(id, index.at(t));
+    }
+  }
+  return g;
+}
+
+PortGraph cube_connected_cycles(int k) {
+  DTOP_REQUIRE(k >= 2 && k <= 16, "ccc k out of range");
+  const NodeId corners = NodeId{1} << k;
+  const NodeId n = corners * static_cast<NodeId>(k);
+  auto id = [&](NodeId x, int i) {
+    return x * static_cast<NodeId>(k) + static_cast<NodeId>(i);
+  };
+  // Ports: 0 = cycle forward, 1 = cycle backward, 2 = hypercube rung.
+  PortGraph g(n, 3);
+  for (NodeId x = 0; x < corners; ++x) {
+    for (int i = 0; i < k; ++i) {
+      const int j = (i + 1) % k;
+      g.connect(id(x, i), 0, id(x, j), 0);  // forward around the cycle
+      g.connect(id(x, j), 1, id(x, i), 1);  // backward
+    }
+    for (int i = 0; i < k; ++i) {
+      const NodeId y = x ^ (NodeId{1} << i);
+      if (x < y) {
+        g.connect(id(x, i), 2, id(y, i), 2);
+        g.connect(id(y, i), 2, id(x, i), 2);
+      }
+    }
+  }
+  return g;
+}
+
+PortGraph directed_torus(NodeId rows, NodeId cols) {
+  DTOP_REQUIRE(rows >= 2 && cols >= 2, "torus needs >= 2x2");
+  PortGraph g(rows * cols, 2);
+  auto id = [&](NodeId i, NodeId j) { return i * cols + j; };
+  for (NodeId i = 0; i < rows; ++i)
+    for (NodeId j = 0; j < cols; ++j) {
+      g.connect(id(i, j), 0, id(i, (j + 1) % cols), 0);
+      g.connect(id(i, j), 1, id((i + 1) % rows, j), 1);
+    }
+  return g;
+}
+
+PortGraph degraded_grid(NodeId rows, NodeId cols, double drop_fraction,
+                        std::uint64_t seed) {
+  DTOP_REQUIRE(rows >= 2 && cols >= 2, "grid needs >= 2x2");
+  DTOP_REQUIRE(drop_fraction >= 0.0 && drop_fraction < 1.0,
+               "drop_fraction in [0,1)");
+  // Ports (both directions): 0 = east, 1 = west, 2 = north, 3 = south.
+  PortGraph g(rows * cols, 4);
+  auto id = [&](NodeId i, NodeId j) { return i * cols + j; };
+  for (NodeId i = 0; i < rows; ++i)
+    for (NodeId j = 0; j < cols; ++j) {
+      if (j + 1 < cols) {
+        g.connect(id(i, j), 0, id(i, j + 1), 1);      // east
+        g.connect(id(i, j + 1), 1, id(i, j), 0);      // west
+      }
+      if (i + 1 < rows) {
+        g.connect(id(i, j), 3, id(i + 1, j), 2);      // south
+        g.connect(id(i + 1, j), 2, id(i, j), 3);      // north
+      }
+    }
+  // Shut down ports one at a time while the network stays usable. This is
+  // the failure model from the paper's introduction: a bidirectional network
+  // whose individual unidirectional conduits fail independently.
+  Rng rng(seed);
+  std::vector<WireId> wires = g.wire_ids();
+  rng.shuffle(wires);
+  const auto target =
+      static_cast<std::size_t>(drop_fraction * static_cast<double>(wires.size()));
+  std::size_t dropped = 0;
+  for (WireId w : wires) {
+    if (dropped >= target) break;
+    const Wire backup = g.wire(w);
+    if (g.out_degree(backup.from) <= 1 || g.in_degree(backup.to) <= 1)
+      continue;
+    g.disconnect(w);
+    if (is_strongly_connected(g)) {
+      ++dropped;
+    } else {
+      g.connect(backup.from, backup.out_port, backup.to, backup.in_port);
+    }
+  }
+  return g;
+}
+
+PortGraph satellite_rings(NodeId num_rings, NodeId ring_size) {
+  DTOP_REQUIRE(num_rings >= 2 && ring_size >= 2, "need >= 2 rings of >= 2");
+  const NodeId n = num_rings * ring_size;
+  auto id = [&](NodeId r, NodeId s) { return r * ring_size + s; };
+  PortGraph g(n, 2);
+  for (NodeId r = 0; r < num_rings; ++r)
+    for (NodeId s = 0; s < ring_size; ++s)
+      g.connect(id(r, s), 0, id(r, (s + 1) % ring_size), 0);
+  // One-way gateway relay: ring r satellite 0 uplinks to ring r+1.
+  for (NodeId r = 0; r < num_rings; ++r)
+    g.connect(id(r, 0), 1, id((r + 1) % num_rings, 0), 1);
+  return g;
+}
+
+namespace {
+
+int nearest_pow2_exp(NodeId hint, int lo, int hi, double scale) {
+  int best = lo;
+  double best_err = 1e300;
+  for (int k = lo; k <= hi; ++k) {
+    const double n = scale * std::pow(2.0, k);
+    const double err = std::abs(n - static_cast<double>(hint));
+    if (err < best_err) {
+      best_err = err;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+FamilyInstance make_family(const std::string& name, NodeId size_hint,
+                           std::uint64_t seed) {
+  if (name == "dering") return {"dering", directed_ring(std::max<NodeId>(2, size_hint))};
+  if (name == "biring")
+    return {"biring", bidirectional_ring(std::max<NodeId>(2, size_hint))};
+  if (name == "debruijn")
+    return {"debruijn", de_bruijn(nearest_pow2_exp(size_hint, 2, 16, 1.0))};
+  if (name == "shufflex")
+    return {"shufflex",
+            shuffle_exchange(nearest_pow2_exp(size_hint, 2, 16, 1.0))};
+  if (name == "butterfly") {
+    int best = 2;
+    double best_err = 1e300;
+    for (int k = 2; k <= 12; ++k) {
+      const double n = static_cast<double>(k) * std::pow(2.0, k);
+      const double err = std::abs(n - static_cast<double>(size_hint));
+      if (err < best_err) {
+        best_err = err;
+        best = k;
+      }
+    }
+    return {"butterfly", wrapped_butterfly(best)};
+  }
+  if (name == "kautz")
+    return {"kautz", kautz(nearest_pow2_exp(size_hint, 2, 15, 1.5))};
+  if (name == "ccc") {
+    int best = 2;
+    double best_err = 1e300;
+    for (int k = 2; k <= 12; ++k) {
+      const double n = static_cast<double>(k) * std::pow(2.0, k);
+      const double err = std::abs(n - static_cast<double>(size_hint));
+      if (err < best_err) {
+        best_err = err;
+        best = k;
+      }
+    }
+    return {"ccc", cube_connected_cycles(best)};
+  }
+  if (name == "torus") {
+    const auto side = static_cast<NodeId>(std::max(
+        2.0, std::round(std::sqrt(static_cast<double>(size_hint)))));
+    return {"torus", directed_torus(side, side)};
+  }
+  if (name == "treeloop") {
+    const int depth =
+        nearest_pow2_exp(std::max<NodeId>(3, size_hint + 1), 1, 16, 2.0) ;
+    return {"treeloop", tree_loop_random(depth, seed)};
+  }
+  if (name == "grid") {
+    const auto side = static_cast<NodeId>(std::max(
+        2.0, std::round(std::sqrt(static_cast<double>(size_hint)))));
+    return {"grid", degraded_grid(side, side, 0.15, seed)};
+  }
+  if (name == "satellite") {
+    const auto rings = static_cast<NodeId>(
+        std::max(2.0, std::round(std::sqrt(static_cast<double>(size_hint) / 2.0))));
+    const NodeId size = std::max<NodeId>(2, size_hint / std::max<NodeId>(1, rings));
+    return {"satellite", satellite_rings(rings, size)};
+  }
+  if (name == "random3") {
+    RandomGraphOptions opt;
+    opt.nodes = std::max<NodeId>(2, size_hint);
+    opt.delta = 3;
+    opt.avg_out_degree = 2.0;
+    opt.seed = seed;
+    return {"random3", random_strongly_connected(opt)};
+  }
+  throw Error("unknown family: " + name);
+}
+
+std::vector<std::string> family_names() {
+  return {"dering",   "biring", "debruijn",  "shufflex", "butterfly",
+          "kautz",    "ccc",    "torus",     "treeloop", "grid",
+          "satellite", "random3"};
+}
+
+}  // namespace dtop

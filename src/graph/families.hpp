@@ -1,0 +1,84 @@
+// Deterministic network families.
+//
+// These cover the paper's motivating scenarios (Section 1.2.2: GPS satellite
+// constellations, one-way radio networks, bidirectional networks with port
+// shutdown failures) and the lower-bound family of Lemma 5.1 (full binary
+// tree with a permuted loop through the bottom level). Low-diameter families
+// (de Bruijn, Kautz, CCC, tree+loop) are the ones on which the O(N*D)
+// protocol meets the Omega(N log N) lower bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "support/rng.hpp"
+
+namespace dtop {
+
+// Directed cycle 0 -> 1 -> ... -> n-1 -> 0. Diameter n-1 (the O(N*D) =
+// O(N^2) stress case).
+PortGraph directed_ring(NodeId n);
+
+// Cycle with both orientations; diameter floor(n/2).
+PortGraph bidirectional_ring(NodeId n);
+
+// Lemma 5.1 family: full binary tree of the given depth with bidirectional
+// edges, plus a simple directed loop visiting every leaf once in the order
+// given by `leaf_order` (a permutation of [0, 2^depth)). N = 2^(depth+1)-1,
+// diameter Theta(log N). Every distinct leaf order is a distinct topology --
+// that is exactly the counting argument behind the lower bound.
+PortGraph tree_loop(int depth, const std::vector<std::uint32_t>& leaf_order);
+
+// Convenience: tree_loop with a seed-derived random permutation.
+PortGraph tree_loop_random(int depth, std::uint64_t seed);
+
+// Binary de Bruijn graph on 2^k nodes: v -> 2v mod n, 2v+1 mod n.
+// delta = 2, diameter k. The flagship "optimal" family.
+PortGraph de_bruijn(int k);
+
+// Shuffle-exchange digraph on 2^k nodes: v -> rotate-left_k(v) (shuffle,
+// out-port 0) and v -> v XOR 1 (exchange, out-port 1). delta = 2,
+// diameter Theta(k).
+PortGraph shuffle_exchange(int k);
+
+// Wrapped butterfly: k levels x 2^k rows; (i, r) -> (i+1 mod k, r) and
+// (i, r) -> (i+1 mod k, r XOR 2^i). delta = 2, diameter Theta(k),
+// N = k * 2^k.
+PortGraph wrapped_butterfly(int k);
+
+// Kautz graph K(2, k): 3 * 2^(k-1) nodes, out-degree 2, diameter k.
+PortGraph kautz(int k);
+
+// Cube-connected cycles of dimension k (bidirectional, degree 3):
+// N = k * 2^k, diameter Theta(k).
+PortGraph cube_connected_cycles(int k);
+
+// Directed torus: (i,j) -> (i,j+1 mod cols) and (i+1 mod rows, j).
+PortGraph directed_torus(NodeId rows, NodeId cols);
+
+// Bidirectional rows x cols grid (no wraparound) in which roughly
+// `drop_fraction` of the directed wires have been shut down one by one,
+// keeping the network strongly connected throughout. Models the paper's
+// "bidirectional networks with in-port or out-port shutdown failures".
+PortGraph degraded_grid(NodeId rows, NodeId cols, double drop_fraction,
+                        std::uint64_t seed);
+
+// One-way relay constellation: `num_rings` directed rings of `ring_size`
+// satellites; ring r's gateway relays one-way to ring r+1's gateway.
+PortGraph satellite_rings(NodeId num_rings, NodeId ring_size);
+
+// Named-family dispatcher for the benchmark harness. `size_hint` picks the
+// family parameter whose node count is closest to the hint.
+struct FamilyInstance {
+  std::string label;
+  PortGraph graph;
+};
+FamilyInstance make_family(const std::string& name, NodeId size_hint,
+                           std::uint64_t seed);
+
+// Names accepted by make_family.
+std::vector<std::string> family_names();
+
+}  // namespace dtop

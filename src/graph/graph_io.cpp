@@ -1,0 +1,65 @@
+#include "graph/graph_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dtop {
+
+void write_graph(std::ostream& os, const PortGraph& g) {
+  os << "dtop-graph v1 " << g.num_nodes() << " " << static_cast<int>(g.delta())
+     << "\n";
+  for (WireId w : g.wire_ids()) {
+    const Wire& wr = g.wire(w);
+    os << wr.from << " " << static_cast<int>(wr.out_port) << " " << wr.to
+       << " " << static_cast<int>(wr.in_port) << "\n";
+  }
+}
+
+std::string graph_to_string(const PortGraph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+PortGraph read_graph(std::istream& is) {
+  std::string magic, version;
+  NodeId n = 0;
+  int delta = 0;
+  is >> magic >> version >> n >> delta;
+  DTOP_REQUIRE(magic == "dtop-graph" && version == "v1",
+               "not a dtop-graph v1 stream");
+  DTOP_REQUIRE(is.good(), "truncated graph header");
+  PortGraph g(n, static_cast<Port>(delta));
+  NodeId from, to;
+  int op, ip;
+  while (is >> from >> op >> to >> ip)
+    g.connect(from, static_cast<Port>(op), to, static_cast<Port>(ip));
+  return g;
+}
+
+PortGraph graph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+void write_dot(std::ostream& os, const PortGraph& g, NodeId highlight_root) {
+  os << "digraph dtop {\n  rankdir=LR;\n  node [shape=circle];\n";
+  if (highlight_root != kNoNode)
+    os << "  n" << highlight_root << " [shape=doublecircle];\n";
+  for (WireId w : g.wire_ids()) {
+    const Wire& wr = g.wire(w);
+    os << "  n" << wr.from << " -> n" << wr.to << " [label=\""
+       << static_cast<int>(wr.out_port) << ":" << static_cast<int>(wr.in_port)
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string graph_to_dot(const PortGraph& g, NodeId highlight_root) {
+  std::ostringstream os;
+  write_dot(os, g, highlight_root);
+  return os.str();
+}
+
+}  // namespace dtop

@@ -1,0 +1,27 @@
+// Serialization of port graphs: a stable text format (round-trippable) and
+// Graphviz DOT export for the example programs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+// Text format:
+//   dtop-graph v1 <num_nodes> <delta>
+//   <from> <out_port> <to> <in_port>     (one line per wire, in wire order)
+void write_graph(std::ostream& os, const PortGraph& g);
+std::string graph_to_string(const PortGraph& g);
+
+PortGraph read_graph(std::istream& is);
+PortGraph graph_from_string(const std::string& text);
+
+// DOT digraph with port labels on the edges; `highlight_root` draws the root
+// as a doubled circle.
+void write_dot(std::ostream& os, const PortGraph& g,
+               NodeId highlight_root = kNoNode);
+std::string graph_to_dot(const PortGraph& g, NodeId highlight_root = kNoNode);
+
+}  // namespace dtop

@@ -1,0 +1,86 @@
+#include "graph/isomorphism.hpp"
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+namespace dtop {
+namespace {
+
+std::string describe(NodeId v, Port p) {
+  std::ostringstream os;
+  os << "node " << v << " port " << static_cast<int>(p);
+  return os.str();
+}
+
+}  // namespace
+
+IsoResult rooted_isomorphic(const PortGraph& a, NodeId root_a,
+                            const PortGraph& b, NodeId root_b) {
+  IsoResult r;
+  if (a.num_nodes() != b.num_nodes()) {
+    r.mismatch = "node counts differ: " + std::to_string(a.num_nodes()) +
+                 " vs " + std::to_string(b.num_nodes());
+    return r;
+  }
+  if (a.delta() != b.delta()) {
+    r.mismatch = "degree bounds differ";
+    return r;
+  }
+
+  std::vector<NodeId> a_to_b(a.num_nodes(), kNoNode);
+  std::vector<NodeId> b_to_a(b.num_nodes(), kNoNode);
+  std::queue<NodeId> work;
+
+  auto pair_nodes = [&](NodeId va, NodeId vb) -> bool {
+    if (a_to_b[va] != kNoNode || b_to_a[vb] != kNoNode) {
+      if (a_to_b[va] == vb) return true;
+      std::ostringstream os;
+      os << "pairing conflict: a:" << va << " vs b:" << vb;
+      r.mismatch = os.str();
+      return false;
+    }
+    a_to_b[va] = vb;
+    b_to_a[vb] = va;
+    work.push(va);
+    return true;
+  };
+
+  if (!pair_nodes(root_a, root_b)) return r;
+
+  while (!work.empty()) {
+    const NodeId va = work.front();
+    work.pop();
+    const NodeId vb = a_to_b[va];
+    if (a.out_mask(va) != b.out_mask(vb) || a.in_mask(va) != b.in_mask(vb)) {
+      r.mismatch = "port masks differ at a:" + std::to_string(va) +
+                   " / b:" + std::to_string(vb);
+      return r;
+    }
+    for (Port p = 0; p < a.delta(); ++p) {
+      const WireId wa = a.out_wire(va, p);
+      if (wa == kNoWire) continue;
+      const WireId wb = b.out_wire(vb, p);
+      const Wire& ea = a.wire(wa);
+      const Wire& eb = b.wire(wb);
+      if (ea.in_port != eb.in_port) {
+        r.mismatch = "in-port mismatch following out " + describe(va, p);
+        return r;
+      }
+      if (!pair_nodes(ea.to, eb.to)) return r;
+    }
+  }
+
+  // Strong connectivity means the forward walk from the root pairs every
+  // node; anything unpaired indicates disagreement.
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a_to_b[v] == kNoNode) {
+      r.mismatch = "node " + std::to_string(v) + " unreached from root";
+      return r;
+    }
+  }
+  r.isomorphic = true;
+  return r;
+}
+
+}  // namespace dtop

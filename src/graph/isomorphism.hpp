@@ -1,0 +1,25 @@
+// Rooted port-labelled isomorphism.
+//
+// With full port labels the isomorphism is *forced* once the roots are
+// paired: following equal out-ports from paired nodes must reach paired
+// nodes through equal in-ports. This is exactly the sense in which the
+// paper's master computer "accurately maps the given directed network"
+// (Theorem 4.1): the recovered map must be equal to the ground truth as a
+// port-labelled graph under the root correspondence.
+#pragma once
+
+#include <string>
+
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+struct IsoResult {
+  bool isomorphic = false;
+  std::string mismatch;  // human-readable reason when !isomorphic
+};
+
+IsoResult rooted_isomorphic(const PortGraph& a, NodeId root_a,
+                            const PortGraph& b, NodeId root_b);
+
+}  // namespace dtop

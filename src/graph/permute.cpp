@@ -1,0 +1,34 @@
+#include "graph/permute.hpp"
+
+#include "support/rng.hpp"
+
+namespace dtop {
+
+PortGraph permute_nodes(const PortGraph& g,
+                        const std::vector<NodeId>& mapping) {
+  DTOP_REQUIRE(mapping.size() == g.num_nodes(), "mapping size mismatch");
+  std::vector<bool> seen(mapping.size(), false);
+  for (NodeId m : mapping) {
+    DTOP_REQUIRE(m < mapping.size() && !seen[m],
+                 "mapping is not a permutation");
+    seen[m] = true;
+  }
+  PortGraph out(g.num_nodes(), g.delta());
+  for (WireId w : g.wire_ids()) {
+    const Wire& wr = g.wire(w);
+    out.connect(mapping[wr.from], wr.out_port, mapping[wr.to], wr.in_port);
+  }
+  return out;
+}
+
+PortGraph permute_nodes_random(const PortGraph& g, std::uint64_t seed,
+                               std::vector<NodeId>* mapping_out) {
+  std::vector<NodeId> mapping(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) mapping[v] = v;
+  Rng rng(seed);
+  rng.shuffle(mapping);
+  if (mapping_out) *mapping_out = mapping;
+  return permute_nodes(g, mapping);
+}
+
+}  // namespace dtop

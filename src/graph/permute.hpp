@@ -1,0 +1,23 @@
+// Node relabelling. Anonymous processors make node ids a simulator artefact;
+// permuting them must not change anything observable. The test suite uses
+// this to check that protocol behaviour (and recovered maps) depend only on
+// the port-labelled structure.
+#pragma once
+
+#include <vector>
+
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+// Returns the graph with node v renamed to mapping[v]; `mapping` must be a
+// permutation of [0, num_nodes).
+PortGraph permute_nodes(const PortGraph& g,
+                        const std::vector<NodeId>& mapping);
+
+// Seed-derived random permutation (identity on the empty seed is not
+// guaranteed — it is a uniform draw).
+PortGraph permute_nodes_random(const PortGraph& g, std::uint64_t seed,
+                               std::vector<NodeId>* mapping_out = nullptr);
+
+}  // namespace dtop

@@ -1,0 +1,120 @@
+#include "graph/port_graph.hpp"
+
+#include <string>
+
+namespace dtop {
+
+PortGraph::PortGraph(NodeId n, Port delta) : delta_(delta) {
+  DTOP_REQUIRE(delta >= 1 && delta <= kMaxDegree,
+               "delta must be in [1, kMaxDegree]");
+  DTOP_REQUIRE(n >= 1, "network needs at least one node");
+  out_wires_.assign(static_cast<std::size_t>(n) * delta, kNoWire);
+  in_wires_.assign(static_cast<std::size_t>(n) * delta, kNoWire);
+}
+
+WireId PortGraph::connect(NodeId from, Port out_port, NodeId to, Port in_port) {
+  DTOP_REQUIRE(out_wires_[index(from, out_port)] == kNoWire,
+               "out-port already connected");
+  DTOP_REQUIRE(in_wires_[index(to, in_port)] == kNoWire,
+               "in-port already connected");
+  const WireId id = static_cast<WireId>(wires_.size());
+  wires_.push_back(Wire{from, out_port, to, in_port});
+  out_wires_[index(from, out_port)] = id;
+  in_wires_[index(to, in_port)] = id;
+  ++live_wires_;
+  return id;
+}
+
+WireId PortGraph::connect_auto(NodeId from, NodeId to) {
+  Port op = kMaxDegree, ip = kMaxDegree;
+  for (Port p = 0; p < delta_; ++p) {
+    if (op == kMaxDegree && out_wires_[index(from, p)] == kNoWire) op = p;
+    if (ip == kMaxDegree && in_wires_[index(to, p)] == kNoWire) ip = p;
+  }
+  DTOP_REQUIRE(op != kMaxDegree, "no free out-port on node " +
+                                     std::to_string(from));
+  DTOP_REQUIRE(ip != kMaxDegree,
+               "no free in-port on node " + std::to_string(to));
+  return connect(from, op, to, ip);
+}
+
+void PortGraph::disconnect(WireId w) {
+  const Wire& wr = wire(w);
+  out_wires_[index(wr.from, wr.out_port)] = kNoWire;
+  in_wires_[index(wr.to, wr.in_port)] = kNoWire;
+  wires_[w] = Wire{};  // tombstone (from == kNoNode)
+  --live_wires_;
+}
+
+std::uint8_t PortGraph::out_mask(NodeId node) const {
+  std::uint8_t m = 0;
+  for (Port p = 0; p < delta_; ++p)
+    if (out_connected(node, p)) m = static_cast<std::uint8_t>(m | (1u << p));
+  return m;
+}
+
+std::uint8_t PortGraph::in_mask(NodeId node) const {
+  std::uint8_t m = 0;
+  for (Port p = 0; p < delta_; ++p)
+    if (in_connected(node, p)) m = static_cast<std::uint8_t>(m | (1u << p));
+  return m;
+}
+
+int PortGraph::out_degree(NodeId node) const {
+  int d = 0;
+  for (Port p = 0; p < delta_; ++p)
+    if (out_connected(node, p)) ++d;
+  return d;
+}
+
+int PortGraph::in_degree(NodeId node) const {
+  int d = 0;
+  for (Port p = 0; p < delta_; ++p)
+    if (in_connected(node, p)) ++d;
+  return d;
+}
+
+Port PortGraph::lowest_out_port(NodeId node) const {
+  for (Port p = 0; p < delta_; ++p)
+    if (out_connected(node, p)) return p;
+  return kMaxDegree;
+}
+
+std::vector<WireId> PortGraph::wire_ids() const {
+  std::vector<WireId> ids;
+  ids.reserve(wires_.size());
+  for (WireId w = 0; w < wires_.size(); ++w)
+    if (wires_[w].from != kNoNode) ids.push_back(w);
+  return ids;
+}
+
+std::vector<WireId> PortGraph::out_wires_of(NodeId node) const {
+  std::vector<WireId> ids;
+  for (Port p = 0; p < delta_; ++p)
+    if (out_connected(node, p)) ids.push_back(out_wire(node, p));
+  return ids;
+}
+
+std::vector<WireId> PortGraph::in_wires_of(NodeId node) const {
+  std::vector<WireId> ids;
+  for (Port p = 0; p < delta_; ++p)
+    if (in_connected(node, p)) ids.push_back(in_wire(node, p));
+  return ids;
+}
+
+void PortGraph::validate() const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    DTOP_CHECK(out_degree(v) >= 1,
+               "node " + std::to_string(v) + " has no connected out-port");
+    DTOP_CHECK(in_degree(v) >= 1,
+               "node " + std::to_string(v) + " has no connected in-port");
+  }
+  for (WireId w = 0; w < wires_.size(); ++w) {
+    if (wires_[w].from == kNoNode) continue;
+    const Wire& wr = wires_[w];
+    DTOP_CHECK(out_wire(wr.from, wr.out_port) == w, "port table corrupt");
+    DTOP_CHECK(in_wire(wr.to, wr.in_port) == w, "port table corrupt");
+  }
+}
+
+}  // namespace dtop

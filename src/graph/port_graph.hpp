@@ -1,0 +1,128 @@
+// The network substrate of the paper's model (Section 1.1): a directed
+// multigraph whose edges ("wires") connect a numbered *out-port* of one
+// processor to a numbered *in-port* of another. In- and out-degree are
+// bounded by a per-network constant delta >= 2; at most one wire may attach
+// to any given port. Self-loops and parallel edges are legal (a pair of
+// antiparallel wires models a bidirectional link).
+//
+// Ports are 0-based in code; the paper numbers them from 1 (presentation
+// only — the protocol depends only on the *order*, which is preserved).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dtop {
+
+using NodeId = std::uint32_t;
+using WireId = std::uint32_t;
+using Port = std::uint8_t;
+
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+inline constexpr WireId kNoWire = 0xFFFFFFFFu;
+inline constexpr Port kNoPort = 0xFF;
+
+// Compile-time ceiling on the per-network degree bound delta. Finite-state
+// machine state holds fixed arrays of this size; raise it here if a family
+// needs more ports.
+inline constexpr Port kMaxDegree = 8;
+
+struct Wire {
+  NodeId from = kNoNode;
+  Port out_port = 0;
+  NodeId to = kNoNode;
+  Port in_port = 0;
+
+  bool operator==(const Wire&) const = default;
+};
+
+class PortGraph {
+ public:
+  // Creates `n` isolated nodes with degree bound `delta` (number of in-ports
+  // and of out-ports available on every node).
+  PortGraph(NodeId n, Port delta);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_wires_.size() / delta_); }
+  // Live wires (tombstoned slots from disconnect() excluded).
+  WireId num_wires() const { return live_wires_; }
+  // Size of the wire-id space (for engine buffer sizing); includes
+  // tombstones.
+  WireId wire_slots() const { return static_cast<WireId>(wires_.size()); }
+  Port delta() const { return delta_; }
+
+  // Connects out-port `out_port` of `from` to in-port `in_port` of `to`.
+  // Both ports must be free. Returns the wire id.
+  WireId connect(NodeId from, Port out_port, NodeId to, Port in_port);
+
+  // Convenience: connects using the lowest free out-port of `from` and the
+  // lowest free in-port of `to`.
+  WireId connect_auto(NodeId from, NodeId to);
+
+  // Removes a wire, freeing its ports. Invalidates no other wire ids (the
+  // slot is tombstoned); mainly used by the degraded-grid family.
+  void disconnect(WireId w);
+
+  const Wire& wire(WireId w) const {
+    DTOP_CHECK(w < wires_.size() && wires_[w].from != kNoNode,
+               "invalid wire id");
+    return wires_[w];
+  }
+
+  // kNoWire when the port is unconnected.
+  WireId out_wire(NodeId node, Port port) const {
+    return out_wires_[index(node, port)];
+  }
+  WireId in_wire(NodeId node, Port port) const {
+    return in_wires_[index(node, port)];
+  }
+
+  bool out_connected(NodeId node, Port port) const {
+    return out_wire(node, port) != kNoWire;
+  }
+  bool in_connected(NodeId node, Port port) const {
+    return in_wire(node, port) != kNoWire;
+  }
+
+  // Bitmask of connected ports (bit p == port p). This is the processors'
+  // in-/out-port awareness from the paper.
+  std::uint8_t out_mask(NodeId node) const;
+  std::uint8_t in_mask(NodeId node) const;
+
+  int out_degree(NodeId node) const;
+  int in_degree(NodeId node) const;
+
+  // Lowest connected out-port, or kMaxDegree when none.
+  Port lowest_out_port(NodeId node) const;
+
+  // All live wires (skipping tombstones), in id order.
+  std::vector<WireId> wire_ids() const;
+
+  // Out-wires of `node` in port order.
+  std::vector<WireId> out_wires_of(NodeId node) const;
+  std::vector<WireId> in_wires_of(NodeId node) const;
+
+  // Checks the model's well-formedness requirements: every node has at least
+  // one connected in-port and one connected out-port, and all ports are
+  // within the degree bound. Throws on violation.
+  void validate() const;
+
+  bool operator==(const PortGraph&) const = default;
+
+ private:
+  std::size_t index(NodeId node, Port port) const {
+    DTOP_CHECK(node < num_nodes(), "node id out of range");
+    DTOP_CHECK(port < delta_, "port out of range");
+    return static_cast<std::size_t>(node) * delta_ + port;
+  }
+
+  Port delta_;
+  WireId live_wires_ = 0;
+  std::vector<Wire> wires_;
+  std::vector<WireId> out_wires_;  // node * delta_ + port -> WireId
+  std::vector<WireId> in_wires_;
+};
+
+}  // namespace dtop

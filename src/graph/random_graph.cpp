@@ -1,0 +1,83 @@
+#include "graph/random_graph.hpp"
+
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "support/rng.hpp"
+
+namespace dtop {
+namespace {
+
+// Uniformly random free out-port of `v`, or kMaxDegree if none.
+Port random_free_out(const PortGraph& g, Rng& rng, NodeId v) {
+  Port free[kMaxDegree];
+  int n = 0;
+  for (Port p = 0; p < g.delta(); ++p)
+    if (!g.out_connected(v, p)) free[n++] = p;
+  if (n == 0) return kMaxDegree;
+  return free[rng.next_below(static_cast<std::uint64_t>(n))];
+}
+
+Port random_free_in(const PortGraph& g, Rng& rng, NodeId v) {
+  Port free[kMaxDegree];
+  int n = 0;
+  for (Port p = 0; p < g.delta(); ++p)
+    if (!g.in_connected(v, p)) free[n++] = p;
+  if (n == 0) return kMaxDegree;
+  return free[rng.next_below(static_cast<std::uint64_t>(n))];
+}
+
+bool has_edge(const PortGraph& g, NodeId u, NodeId v) {
+  for (Port p = 0; p < g.delta(); ++p) {
+    const WireId w = g.out_wire(u, p);
+    if (w != kNoWire && g.wire(w).to == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PortGraph random_strongly_connected(const RandomGraphOptions& opt) {
+  DTOP_REQUIRE(opt.nodes >= 2, "random graph needs >= 2 nodes");
+  DTOP_REQUIRE(opt.delta >= 1 && opt.delta <= kMaxDegree, "bad delta");
+  DTOP_REQUIRE(opt.avg_out_degree >= 1.0, "avg_out_degree >= 1 required");
+  DTOP_REQUIRE(opt.avg_out_degree <= static_cast<double>(opt.delta),
+               "avg_out_degree cannot exceed delta");
+
+  Rng rng(opt.seed);
+  PortGraph g(opt.nodes, opt.delta);
+
+  // Backbone: random Hamiltonian cycle on random ports.
+  std::vector<NodeId> perm(opt.nodes);
+  for (NodeId v = 0; v < opt.nodes; ++v) perm[v] = v;
+  rng.shuffle(perm);
+  for (NodeId i = 0; i < opt.nodes; ++i) {
+    const NodeId u = perm[i];
+    const NodeId v = perm[(i + 1) % opt.nodes];
+    g.connect(u, random_free_out(g, rng, u), v, random_free_in(g, rng, v));
+  }
+
+  // Extra edges up to the requested average out-degree.
+  const auto target_extra = static_cast<std::uint64_t>(
+      (opt.avg_out_degree - 1.0) * static_cast<double>(opt.nodes));
+  std::uint64_t added = 0, attempts = 0;
+  const std::uint64_t max_attempts = 50 * (target_extra + 1);
+  while (added < target_extra && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.next_below(opt.nodes));
+    const auto v = static_cast<NodeId>(rng.next_below(opt.nodes));
+    if (!opt.allow_self_loops && u == v) continue;
+    if (!opt.allow_parallel_edges && has_edge(g, u, v)) continue;
+    const Port op = random_free_out(g, rng, u);
+    const Port ip = random_free_in(g, rng, v);
+    if (op == kMaxDegree || ip == kMaxDegree) continue;
+    g.connect(u, op, v, ip);
+    ++added;
+  }
+
+  g.validate();
+  DTOP_CHECK(is_strongly_connected(g), "backbone guarantees SC");
+  return g;
+}
+
+}  // namespace dtop

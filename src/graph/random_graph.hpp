@@ -1,0 +1,27 @@
+// Random strongly-connected bounded-degree directed networks.
+//
+// Construction: a random Hamiltonian cycle guarantees strong connectivity;
+// extra edges are then added between random free ports until the requested
+// average out-degree is reached. Ports are assigned uniformly among the free
+// ones (not lowest-first) so that the protocol's lowest-in-port tie-breaking
+// is genuinely exercised.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+struct RandomGraphOptions {
+  NodeId nodes = 16;
+  Port delta = 3;             // degree bound (in and out)
+  double avg_out_degree = 2.0;  // target average out-degree (>= 1)
+  bool allow_self_loops = true;
+  bool allow_parallel_edges = true;
+  std::uint64_t seed = 1;
+};
+
+PortGraph random_strongly_connected(const RandomGraphOptions& opt);
+
+}  // namespace dtop

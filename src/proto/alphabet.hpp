@@ -1,0 +1,130 @@
+// The protocol's wire alphabet.
+//
+// A character transmitted on a wire during one tick is a *product* of
+// independent lanes, one per construct family (paper Section 2.3.1: "snakes
+// of different types do not interact ... distinguished by their alphabets").
+// Every lane is constant-size, so the whole character is constant-size — a
+// requirement of the finite-state model.
+//
+// Lanes:
+//   grow[IG|OG|BG]   growing-snake characters (Section 2.3.2). IG searches
+//                    for the root, OG returns from the root, BG is the
+//                    growing snake of our BCA reconstruction.
+//   die[ID|OD|BD]    dying-snake characters (Section 2.3.3); BD marks the
+//                    BCA loop.
+//   kill / bkill     speed-3 cleanup floods (RCA step 4 / BCA cleanup).
+//   rloop            RCA loop tokens: FORWARD(i,j), BACK, UNMARK.
+//   bloop            BCA loop tokens: DATA(m), ACK, BUNMARK.
+//   dfs              the DFS token: (last out-port, last in-port).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "graph/port_graph.hpp"
+#include "sim/machine.hpp"
+
+namespace dtop {
+
+// The '*' placeholder of the paper: a snake character emitted with an
+// unresolved in-port label; the receiving processor replaces it with the
+// number of the in-port it arrived through. (kNoPort lives in the graph
+// layer.)
+inline constexpr Port kStarPort = 0xFE;
+
+enum class GrowKind : std::uint8_t { kIG = 0, kOG = 1, kBG = 2 };
+enum class DieKind : std::uint8_t { kID = 0, kOD = 1, kBD = 2 };
+inline constexpr int kNumSnakeKinds = 3;
+
+enum class SnakePart : std::uint8_t { kHead, kBody, kTail };
+
+// One snake character. Head/body characters encode one edge of a path as the
+// pair (out-port at the edge's tail processor, in-port at its head
+// processor); tail characters carry no labels.
+struct SnakeChar {
+  SnakePart part = SnakePart::kBody;
+  Port out = kNoPort;
+  Port in = kNoPort;
+
+  bool operator==(const SnakeChar&) const = default;
+};
+
+// RCA loop tokens (paper step 4/5). FORWARD carries the (out-port, in-port)
+// pair identifying the DFS edge just traversed; there are delta^2 possible
+// FORWARD tokens, as in the paper.
+struct RcaToken {
+  enum class Kind : std::uint8_t { kForward, kBack, kUnmark };
+  Kind kind = Kind::kBack;
+  Port out = kNoPort;
+  Port in = kNoPort;
+
+  bool operator==(const RcaToken&) const = default;
+};
+
+// BCA loop tokens (DESIGN.md section 3a). DATA carries the constant-size
+// message being sent backwards; the target relabels it ACK; BUNMARK unmarks
+// the loop.
+struct BcaToken {
+  enum class Kind : std::uint8_t { kData, kAck, kBUnmark };
+  Kind kind = Kind::kData;
+  std::uint8_t payload = 0;
+
+  bool operator==(const BcaToken&) const = default;
+};
+
+// The DFS token: "the same basic structure as a snake character with two
+// entries where in-port and out-port labels can be stored" (Section 3).
+struct DfsToken {
+  Port last_out = kNoPort;
+  Port last_in = kStarPort;
+
+  bool operator==(const DfsToken&) const = default;
+};
+
+struct Character {
+  std::optional<SnakeChar> grow[kNumSnakeKinds];
+  std::optional<SnakeChar> die[kNumSnakeKinds];
+  bool kill = false;
+  bool bkill = false;
+  std::optional<RcaToken> rloop;
+  std::optional<BcaToken> bloop;
+  std::optional<DfsToken> dfs;
+
+  bool blank() const {
+    for (const auto& g : grow)
+      if (g) return false;
+    for (const auto& d : die)
+      if (d) return false;
+    return !kill && !bkill && !rloop && !bloop && !dfs;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Character>,
+              "wire characters must be constant-size PODs");
+
+// Speed configuration (paper Section 2.1). A construct read at tick t is
+// re-emitted during tick t+delay; the hop latency is therefore delay+1
+// ticks. Speed-1 constructs (snakes; FORWARD/BACK/DATA/ACK loop tokens) use
+// delay 2; speed-3 constructs (KILL/BKILL/UNMARK/BUNMARK) use delay 0, so
+// they travel three times faster. The delays are configurable only so the
+// E9 ablation can demonstrate that the 3:1 ratio is what makes the KILL
+// cleanup of Lemma 4.2 sound.
+struct ProtocolConfig {
+  int snake_delay = 2;
+  int loop_delay = 2;
+  int token_delay = 0;
+};
+
+inline GrowKind grow_kind(int i) { return static_cast<GrowKind>(i); }
+inline DieKind die_kind(int i) { return static_cast<DieKind>(i); }
+inline int index_of(GrowKind k) { return static_cast<int>(k); }
+inline int index_of(DieKind k) { return static_cast<int>(k); }
+
+const char* to_cstr(GrowKind k);
+const char* to_cstr(DieKind k);
+const char* to_cstr(SnakePart p);
+std::string to_string(const SnakeChar& c);
+std::string to_string(const Character& c);
+
+}  // namespace dtop

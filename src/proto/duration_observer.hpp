@@ -1,0 +1,65 @@
+// Observer recording per-RCA / per-BCA spans. Doubles as a serialization
+// audit: the GTD protocol guarantees at most one RCA and one BCA in flight
+// at any time, so overlapping spans are a hard error.
+#pragma once
+
+#include <vector>
+
+#include "proto/observer.hpp"
+#include "support/error.hpp"
+
+namespace dtop {
+
+class DurationObserver : public ProtoObserver {
+ public:
+  struct Span {
+    NodeId node = kNoNode;
+    Tick start = 0, end = 0;
+    bool forward = false;
+
+    Tick duration() const { return end - start; }
+  };
+
+  void on_rca_start(NodeId node, Tick now, bool forward) override {
+    DTOP_CHECK(!rca_open_, "overlapping RCAs observed");
+    rca_open_ = true;
+    rca_.push_back(Span{node, now, 0, forward});
+  }
+  void on_rca_complete(NodeId node, Tick now) override {
+    DTOP_CHECK(rca_open_ && !rca_.empty() && rca_.back().node == node,
+               "RCA completion without a start");
+    rca_open_ = false;
+    rca_.back().end = now;
+  }
+  void on_bca_start(NodeId node, Tick now) override {
+    DTOP_CHECK(!bca_open_, "overlapping BCAs observed");
+    bca_open_ = true;
+    bca_.push_back(Span{node, now, 0, false});
+  }
+  void on_bca_complete(NodeId node, Tick now) override {
+    DTOP_CHECK(bca_open_ && !bca_.empty() && bca_.back().node == node,
+               "BCA completion without a start");
+    bca_open_ = false;
+    bca_.back().end = now;
+  }
+  void on_grow_erased(NodeId node, Tick now, bool bca_lane) override {
+    erasures_.push_back(Erasure{node, now, bca_lane});
+  }
+
+  struct Erasure {
+    NodeId node;
+    Tick tick;
+    bool bca_lane;
+  };
+
+  const std::vector<Span>& rca() const { return rca_; }
+  const std::vector<Span>& bca() const { return bca_; }
+  const std::vector<Erasure>& erasures() const { return erasures_; }
+
+ private:
+  std::vector<Span> rca_, bca_;
+  std::vector<Erasure> erasures_;
+  bool rca_open_ = false, bca_open_ = false;
+};
+
+}  // namespace dtop

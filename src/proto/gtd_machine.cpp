@@ -1,0 +1,168 @@
+#include "proto/gtd_machine.hpp"
+
+namespace dtop {
+
+GtdMachine::GtdMachine(const MachineEnv& env, const Config& cfg)
+    : env_(env), cfg_(cfg) {
+  DTOP_CHECK(env_.delta >= 1 && env_.delta <= kMaxDegree, "bad delta");
+  DTOP_CHECK(cfg_.protocol.snake_delay >= 0 && cfg_.protocol.loop_delay >= 0 &&
+                 cfg_.protocol.token_delay >= 0,
+             "negative delay");
+}
+
+void GtdMachine::step(Ctx& ctx) {
+  for (bool& k : grow_killed_now_) k = false;
+
+  // Initiation: the root is nudged out of quiescence by its master computer
+  // (delivered as an engine schedule, not a wire character).
+  if (env_.is_root && !st_.dfs.started) dfs_start_root(ctx);
+
+  // Lane order within the tick: cleanup first (a KILL contact erases
+  // characters arriving in the same pulse), then snakes, then tokens, then
+  // the DFS driver; finally all emissions staged for this tick depart.
+  handle_kill(ctx);
+  handle_grow(ctx);
+  handle_die(ctx);
+  handle_rloop(ctx);
+  handle_bloop(ctx);
+  handle_dfs(ctx);
+  emit_pending(ctx);
+}
+
+bool GtdMachine::idle() const {
+  return st_.outq.empty() && !st_.kill_out && !st_.bkill_out &&
+         !st_.rtok.present && !st_.btok.present && !st_.dfs_out.present;
+}
+
+bool GtdMachine::pristine() const {
+  for (const auto& g : st_.grow)
+    if (g.visited) return false;
+  for (const auto& d : st_.die_stream)
+    if (d.phase != DieStream::Phase::kNone) return false;
+  if (st_.loop.any() || st_.bca_marks.has || st_.bca_marks.target) return false;
+  if (st_.conv_grow.active || st_.conv_die.active) return false;
+  if (!idle()) return false;
+  if (st_.rca_phase != RcaPhase::kIdle || st_.og_closed) return false;
+  if (st_.bca_phase != BcaPhase::kIdle) return false;
+  if (env_.is_root && st_.root_phase != RootPhase::kOpen) return false;
+  return true;
+}
+
+void GtdMachine::enqueue_snake(SnakeLane lane, const SnakeChar& ch, Route route,
+                               Port port, int delay) {
+  // FIFO-per-lane sanity: within one lane, emission times never reorder.
+  for (std::size_t i = st_.outq.size(); i > 0; --i) {
+    const PendingSnake& prev = st_.outq[i - 1];
+    if (prev.lane == lane) {
+      DTOP_CHECK(prev.delay <= delay, "snake lane FIFO violation");
+      break;
+    }
+  }
+  PendingSnake ps;
+  ps.lane = lane;
+  ps.ch = ch;
+  ps.route = route;
+  ps.port = port;
+  ps.delay = static_cast<std::uint8_t>(delay);
+  st_.outq.push_back(ps);
+}
+
+void GtdMachine::write_snake(Ctx& ctx, Port port, SnakeLane lane,
+                             const SnakeChar& ch) {
+  Character& m = ctx.out(port);
+  if (is_grow_lane(lane)) {
+    auto& slot = m.grow[index_of(grow_of(lane))];
+    DTOP_CHECK(!slot, "grow-lane wire collision");
+    slot = ch;
+  } else {
+    auto& slot = m.die[index_of(die_of(lane))];
+    DTOP_CHECK(!slot, "die-lane wire collision");
+    slot = ch;
+  }
+}
+
+void GtdMachine::emit_snake(Ctx& ctx, const PendingSnake& ps) {
+  switch (ps.route) {
+    case Route::kPort:
+      write_snake(ctx, ps.port, ps.lane, ps.ch);
+      break;
+    case Route::kBroadcastSame:
+      for_each_out_port([&](Port p) { write_snake(ctx, p, ps.lane, ps.ch); });
+      break;
+    case Route::kBroadcastPerPort:
+      for_each_out_port([&](Port p) {
+        SnakeChar c = ps.ch;
+        c.out = p;
+        write_snake(ctx, p, ps.lane, c);
+      });
+      break;
+  }
+}
+
+void GtdMachine::emit_pending(Ctx& ctx) {
+  // Emit due snake characters in queue order; keep the rest, aging them.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < st_.outq.size(); ++r) {
+    PendingSnake ps = st_.outq[r];
+    if (ps.delay == 0) {
+      emit_snake(ctx, ps);
+    } else {
+      --ps.delay;
+      st_.outq[w++] = ps;
+    }
+  }
+  while (st_.outq.size() > w) st_.outq.pop_back();
+
+  if (st_.kill_out) {
+    for_each_out_port([&](Port p) { ctx.out(p).kill = true; });
+    st_.kill_out = false;
+  }
+  if (st_.bkill_out) {
+    for_each_out_port([&](Port p) { ctx.out(p).bkill = true; });
+    st_.bkill_out = false;
+  }
+  if (st_.rtok.present) {
+    if (st_.rtok.delay == 0) {
+      Character& m = ctx.out(st_.rtok.port);
+      DTOP_CHECK(!m.rloop, "rloop wire collision");
+      m.rloop = st_.rtok.tok;
+      st_.rtok = PendingRcaToken{};
+    } else {
+      --st_.rtok.delay;
+    }
+  }
+  if (st_.btok.present) {
+    if (st_.btok.delay == 0) {
+      Character& m = ctx.out(st_.btok.port);
+      DTOP_CHECK(!m.bloop, "bloop wire collision");
+      m.bloop = st_.btok.tok;
+      st_.btok = PendingBcaToken{};
+    } else {
+      --st_.btok.delay;
+    }
+  }
+  if (st_.dfs_out.present) {
+    if (st_.dfs_out.delay == 0) {
+      Character& m = ctx.out(st_.dfs_out.port);
+      DTOP_CHECK(!m.dfs, "dfs wire collision");
+      m.dfs = st_.dfs_out.tok;
+      st_.dfs_out = PendingDfs{};
+    } else {
+      --st_.dfs_out.delay;
+    }
+  }
+}
+
+void GtdMachine::emit_event(Ctx& ctx, TranscriptEvent::Kind kind, Port out,
+                            Port in) {
+  DTOP_CHECK(env_.is_root, "transcript events originate at the root");
+  if (!cfg_.transcript) return;
+  TranscriptEvent ev;
+  ev.kind = kind;
+  ev.tick = ctx.now();
+  ev.out = out;
+  ev.in = in;
+  cfg_.transcript->emit(ev);
+}
+
+}  // namespace dtop

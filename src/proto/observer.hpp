@@ -1,0 +1,56 @@
+// Optional instrumentation hooks fired by the protocol machines. Used by the
+// benchmark harness (per-RCA/BCA durations for experiments E2/E3/E5) and by
+// the test suite's serialization audits (at most one RCA and one BCA active
+// at any time).
+//
+// Callbacks execute inside node updates; attach an observer only to
+// single-threaded engines.
+#pragma once
+
+#include "proto/machine_state.hpp"
+#include "sim/machine.hpp"
+
+namespace dtop {
+
+class ProtoObserver {
+ public:
+  virtual ~ProtoObserver() = default;
+
+  // `node` is the simulator-side node id (MachineEnv::debug_id) — purely for
+  // attribution; the protocol itself is anonymous.
+  virtual void on_rca_start(NodeId node, Tick now, bool forward) {
+    (void)node;
+    (void)now;
+    (void)forward;
+  }
+  virtual void on_rca_complete(NodeId node, Tick now) {
+    (void)node;
+    (void)now;
+  }
+  // Fired at every initiator-side phase transition of an RCA: kWaitOdt when
+  // the first OG head survives to A (both flood legs done), kWaitToken when
+  // the bare ODT arrives (loop fully marked, KILL released), kWaitUnmark
+  // when the FORWARD/BACK token returns. Used to decompose the per-loop-hop
+  // constant of Lemma 4.3 (experiment E2).
+  virtual void on_rca_phase(NodeId node, Tick now, RcaPhase phase) {
+    (void)node;
+    (void)now;
+    (void)phase;
+  }
+  virtual void on_bca_start(NodeId node, Tick now) {
+    (void)node;
+    (void)now;
+  }
+  virtual void on_bca_complete(NodeId node, Tick now) {
+    (void)node;
+    (void)now;
+  }
+  // Fired when a KILL/BKILL contact erases growing-lane state at a node.
+  virtual void on_grow_erased(NodeId node, Tick now, bool bca_lane) {
+    (void)node;
+    (void)now;
+    (void)bca_lane;
+  }
+};
+
+}  // namespace dtop

@@ -1,0 +1,56 @@
+#include "proto/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace dtop {
+
+WireTrace::WireTrace(Tick first_tick, Tick last_tick, std::size_t max_entries)
+    : first_(first_tick), last_(last_tick), max_entries_(max_entries) {
+  DTOP_REQUIRE(first_tick >= 0 && first_tick <= last_tick,
+               "bad trace window");
+}
+
+void WireTrace::capture(Engine& engine) {
+  const Tick t = engine.now();
+  if (t < first_ || t > last_) return;
+  for (WireId w : engine.graph().wire_ids()) {
+    const Character* c = engine.staged_message(w);
+    if (!c || c->blank()) continue;
+    if (entries_.size() >= max_entries_) {
+      truncated_ = true;
+      return;
+    }
+    Entry e;
+    e.tick = t;
+    e.wire = engine.graph().wire(w);
+    e.text = dtop::to_string(*c);
+    entries_.push_back(std::move(e));
+  }
+}
+
+void WireTrace::attach(Engine& engine) {
+  engine.set_observer([this](Engine& e) { capture(e); });
+}
+
+void WireTrace::print(std::ostream& os) const {
+  Tick last_tick = -1;
+  for (const Entry& e : entries_) {
+    if (e.tick != last_tick) {
+      os << "--- tick " << e.tick << " ---\n";
+      last_tick = e.tick;
+    }
+    os << "  " << e.wire.from << "[" << static_cast<int>(e.wire.out_port)
+       << "] -> " << e.wire.to << "[" << static_cast<int>(e.wire.in_port)
+       << "]  " << e.text << "\n";
+  }
+  if (truncated_) os << "... (trace truncated)\n";
+}
+
+std::string WireTrace::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace dtop

@@ -1,0 +1,54 @@
+// Wire-level protocol tracing.
+//
+// Attaches to an engine as a post-tick observer and records every non-blank
+// character in flight, rendered through the protocol alphabet. This is the
+// tool for *watching* the paper's constructs: baby snakes leaving an
+// initiator, the tail insertion at each hop, the KILL wave overtaking the
+// flood, loop tokens circling the marked loop. `atlas --trace N` prints the
+// first N ticks of any run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "proto/gtd_machine.hpp"
+#include "sim/engine.hpp"
+
+namespace dtop {
+
+class WireTrace {
+ public:
+  using Engine = SyncEngine<GtdMachine>;
+
+  struct Entry {
+    Tick tick = 0;
+    Wire wire;        // endpoints and ports
+    std::string text; // rendered character
+  };
+
+  // Records activity for ticks in [first_tick, last_tick] (inclusive);
+  // stops recording after max_entries to bound memory.
+  explicit WireTrace(Tick first_tick = 1, Tick last_tick = 1 << 20,
+                     std::size_t max_entries = 100000);
+
+  // Observer body: call after every engine tick.
+  void capture(Engine& engine);
+
+  // Convenience: installs this trace as the engine's observer.
+  void attach(Engine& engine);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool truncated() const { return truncated_; }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  Tick first_, last_;
+  std::size_t max_entries_;
+  std::vector<Entry> entries_;
+  bool truncated_ = false;
+};
+
+}  // namespace dtop

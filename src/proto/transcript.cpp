@@ -1,0 +1,42 @@
+#include "proto/transcript.hpp"
+
+#include <sstream>
+
+namespace dtop {
+
+const char* to_cstr(TranscriptEvent::Kind k) {
+  using K = TranscriptEvent::Kind;
+  switch (k) {
+    case K::kInit: return "INIT";
+    case K::kUpStep: return "UP";
+    case K::kUpEnd: return "UP_END";
+    case K::kDownStep: return "DOWN";
+    case K::kDownEnd: return "DOWN_END";
+    case K::kForward: return "FORWARD";
+    case K::kBack: return "BACK";
+    case K::kSelfForward: return "SELF_FORWARD";
+    case K::kSelfBack: return "SELF_BACK";
+    case K::kTerminated: return "TERMINATED";
+  }
+  return "?";
+}
+
+std::string to_string(const TranscriptEvent& ev) {
+  std::ostringstream os;
+  os << "t=" << ev.tick << " " << to_cstr(ev.kind);
+  using K = TranscriptEvent::Kind;
+  if (ev.kind == K::kUpStep || ev.kind == K::kDownStep ||
+      ev.kind == K::kForward || ev.kind == K::kSelfForward) {
+    os << "(" << static_cast<int>(ev.out) << "," << static_cast<int>(ev.in)
+       << ")";
+  }
+  return os.str();
+}
+
+std::string Transcript::to_string() const {
+  std::ostringstream os;
+  for (const auto& ev : events_) os << dtop::to_string(ev) << "\n";
+  return os.str();
+}
+
+}  // namespace dtop

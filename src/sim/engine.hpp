@@ -1,0 +1,287 @@
+// The synchronous lockstep engine.
+//
+// Semantics (paper Section 1.1): per global clock tick every processor
+// (1) reads the characters its in-ports received, (2) performs its state
+// change, (3) broadcasts its outputs. We implement this as a BSP superstep
+// with double-buffered wires: characters sent during tick t are readable
+// exactly at tick t+1. Running the per-node updates on a thread pool does not
+// change any observable behaviour — each node writes only its own out-wires —
+// so the parallel engine is bit-identical to the sequential one (tested).
+//
+// The engine is an *active-set* simulator: a node is stepped at tick t only
+// if it received a character at t or declared itself non-idle at t-1.
+// Stepping an idle node on blank inputs must be a no-op (machine contract;
+// property-tested), so skipping is invisible.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "sim/machine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace dtop {
+
+// Per-tick view a machine gets of its node: read-only inputs and merge-style
+// staged outputs. Lane writers obtain `out(p)` and fill their slot; the
+// engine delivers the merged character next tick.
+template <typename Message>
+class StepContext {
+ public:
+  Tick now() const { return tick_; }
+
+  // Character received on in-port p this tick, or nullptr when the port is
+  // unconnected or carried a blank.
+  const Message* input(Port p) const { return inputs_[p]; }
+
+  // Staged output character for out-port p (created blank on first use).
+  // Requires the port to be connected.
+  Message& out(Port p) {
+    const WireId w = out_wires_[p];
+    DTOP_CHECK(w != kNoWire, "send on unconnected out-port");
+    if (!next_present_[w]) {
+      next_present_[w] = 1;
+      next_msgs_[w] = Message{};
+      dirty_->push_back(w);
+      to_schedule_->push_back(targets_[w]);
+      ++*message_count_;
+    }
+    return next_msgs_[w];
+  }
+
+  bool out_connected(Port p) const { return out_wires_[p] != kNoWire; }
+
+  // Engine wiring (constructed per stepped node).
+  const Message* inputs_[kMaxDegree] = {};
+  WireId out_wires_[kMaxDegree];
+  Message* next_msgs_ = nullptr;
+  std::uint8_t* next_present_ = nullptr;
+  const NodeId* targets_ = nullptr;
+  std::vector<WireId>* dirty_ = nullptr;
+  std::vector<NodeId>* to_schedule_ = nullptr;
+  std::uint64_t* message_count_ = nullptr;
+  Tick tick_ = 0;
+};
+
+template <typename M>
+class SyncEngine {
+ public:
+  using Message = typename M::Message;
+  using Config = typename M::Config;
+
+  // Minimum active nodes per worker before a tick is split across the pool.
+  static constexpr std::size_t kParallelGrain = 96;
+
+  SyncEngine(const PortGraph& g, NodeId root, const Config& cfg,
+             int num_threads = 1)
+      : graph_(&g), root_(root), pool_(num_threads) {
+    DTOP_REQUIRE(root < g.num_nodes(), "root out of range");
+    g.validate();
+    const std::size_t wire_slots = g.wire_slots();
+    for (int b = 0; b < 2; ++b) {
+      msgs_[b].resize(wire_slots);
+      present_[b].assign(wire_slots, 0);
+    }
+    targets_.resize(wire_slots, kNoNode);
+    for (WireId w : g.wire_ids()) targets_[w] = g.wire(w).to;
+
+    machines_.reserve(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      MachineEnv env;
+      env.is_root = (v == root);
+      env.delta = g.delta();
+      env.in_mask = g.in_mask(v);
+      env.out_mask = g.out_mask(v);
+      env.debug_id = v;
+      machines_.emplace_back(env, cfg);
+    }
+    sched_stamp_.assign(g.num_nodes(), -1);
+    thread_sched_.resize(static_cast<std::size_t>(pool_.size()));
+    thread_dirty_.resize(static_cast<std::size_t>(pool_.size()));
+    thread_msgs_.assign(static_cast<std::size_t>(pool_.size()), 0);
+  }
+
+  const PortGraph& graph() const { return *graph_; }
+  NodeId root() const { return root_; }
+  Tick now() const { return tick_; }
+  const EngineStats& stats() const { return stats_; }
+
+  M& machine(NodeId v) { return machines_[v]; }
+  const M& machine(NodeId v) const { return machines_[v]; }
+
+  // Requests that `v` be stepped on the next tick (used to deliver the
+  // out-of-band initiation signal to the root).
+  void schedule(NodeId v) {
+    DTOP_REQUIRE(v < machines_.size(), "schedule: bad node");
+    pending_.push_back(v);
+  }
+
+  // Invoked after every tick (sequentially); used by tests to audit global
+  // invariants the protocol is supposed to maintain.
+  void set_observer(std::function<void(SyncEngine&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+  // True when a character is in flight on wire w (sent this tick, readable
+  // next tick). Used by end-state pristineness audits.
+  bool wire_pending(WireId w) const { return present_[next_][w] != 0; }
+
+  // The in-flight character on wire w, or nullptr when the wire is silent.
+  // Test-only introspection (micro-trace tests check snake speeds).
+  const Message* staged_message(WireId w) const {
+    return present_[next_][w] ? &msgs_[next_][w] : nullptr;
+  }
+
+  // Test-only fault injection: places (or overwrites) a character in flight
+  // on wire w, delivered at the next tick. Used to verify the fail-loud
+  // posture: a corrupted network must never yield a silently wrong map.
+  void inject(WireId w, const Message& m) {
+    DTOP_REQUIRE(w < msgs_[next_].size() && targets_[w] != kNoNode,
+                 "inject: bad wire");
+    if (!present_[next_][w]) {
+      present_[next_][w] = 1;
+      next_dirty_.push_back(w);
+      ++stats_.messages;
+    }
+    msgs_[next_][w] = m;
+    pending_.push_back(targets_[w]);
+  }
+
+  // One global clock tick.
+  void step() {
+    ++tick_;
+    // Sent-last-tick becomes readable now.
+    std::swap(cur_, next_);
+
+    // Deduplicate the active set (stable order not required: node updates
+    // are independent).
+    active_.clear();
+    for (NodeId v : pending_) {
+      if (sched_stamp_[v] != tick_) {
+        sched_stamp_[v] = tick_;
+        active_.push_back(v);
+      }
+    }
+    pending_.clear();
+
+    const std::size_t count = active_.size();
+    // Granularity control: a fork-join per tick only pays off when there is
+    // enough node work to split. Small active sets (the common case outside
+    // snake floods) run inline; the result is bit-identical either way.
+    const int nthreads =
+        count >= kParallelGrain * 2 ? pool_.size() : 1;
+    if (count > 0 && nthreads > 1) {
+      pool_.run([&](int t) {
+        auto& sched = thread_sched_[static_cast<std::size_t>(t)];
+        auto& dirty = thread_dirty_[static_cast<std::size_t>(t)];
+        std::uint64_t msgs = 0;
+        const std::size_t begin =
+            count * static_cast<std::size_t>(t) / static_cast<std::size_t>(nthreads);
+        const std::size_t end =
+            count * static_cast<std::size_t>(t + 1) / static_cast<std::size_t>(nthreads);
+        for (std::size_t i = begin; i < end; ++i)
+          step_node(active_[i], sched, dirty, msgs);
+        thread_msgs_[static_cast<std::size_t>(t)] = msgs;
+      });
+    } else if (count > 0) {
+      auto& sched = thread_sched_[0];
+      auto& dirty = thread_dirty_[0];
+      std::uint64_t msgs = 0;
+      for (std::size_t i = 0; i < count; ++i)
+        step_node(active_[i], sched, dirty, msgs);
+      thread_msgs_[0] = msgs;
+    }
+
+    // Merge thread-local effects (deterministic: sums and set-unions).
+    for (auto& sched : thread_sched_) {
+      pending_.insert(pending_.end(), sched.begin(), sched.end());
+      sched.clear();
+    }
+    for (auto& dirty : thread_dirty_) {
+      next_dirty_.insert(next_dirty_.end(), dirty.begin(), dirty.end());
+      dirty.clear();
+    }
+    for (auto& m : thread_msgs_) {
+      stats_.messages += m;
+      m = 0;
+    }
+
+    // The cur buffer has been fully consumed; clear it for reuse as the next
+    // staging buffer.
+    for (WireId w : cur_dirty_) present_[cur_][w] = 0;
+    cur_dirty_.clear();
+    std::swap(cur_dirty_, next_dirty_);
+
+    stats_.ticks = tick_;
+    stats_.node_steps += count;
+    stats_.sum_active += count;
+    stats_.max_active = std::max<std::uint64_t>(stats_.max_active, count);
+
+    if (observer_) observer_(*this);
+  }
+
+  // Runs until the root machine terminates or the budget is exhausted.
+  RunStatus run(Tick max_ticks) {
+    while (tick_ < max_ticks) {
+      step();
+      if (machines_[root_].terminated()) return RunStatus::kTerminated;
+    }
+    return RunStatus::kTickBudget;
+  }
+
+ private:
+  void step_node(NodeId v, std::vector<NodeId>& sched,
+                 std::vector<WireId>& dirty, std::uint64_t& msgs) {
+    StepContext<Message> ctx;
+    ctx.tick_ = tick_;
+    const Port delta = graph_->delta();
+    for (Port p = 0; p < delta; ++p) {
+      const WireId in_w = graph_->in_wire(v, p);
+      ctx.inputs_[p] = (in_w != kNoWire && present_[cur_][in_w])
+                           ? &msgs_[cur_][in_w]
+                           : nullptr;
+      ctx.out_wires_[p] = graph_->out_wire(v, p);
+    }
+    for (Port p = delta; p < kMaxDegree; ++p) ctx.out_wires_[p] = kNoWire;
+    ctx.next_msgs_ = msgs_[next_].data();
+    ctx.next_present_ = present_[next_].data();
+    ctx.targets_ = targets_.data();
+    ctx.dirty_ = &dirty;
+    ctx.to_schedule_ = &sched;
+    ctx.message_count_ = &msgs;
+
+    M& m = machines_[v];
+    m.step(ctx);
+    if (!m.idle()) sched.push_back(v);
+  }
+
+  const PortGraph* graph_;
+  NodeId root_;
+  ThreadPool pool_;
+  std::vector<M> machines_;
+
+  // Double-buffered wire state. Index cur_: readable this tick; next_:
+  // staged for next tick.
+  std::vector<Message> msgs_[2];
+  std::vector<std::uint8_t> present_[2];
+  std::vector<WireId> cur_dirty_, next_dirty_;
+  int cur_ = 0, next_ = 1;
+  std::vector<NodeId> targets_;
+
+  std::vector<NodeId> pending_, active_;
+  std::vector<Tick> sched_stamp_;
+  std::vector<std::vector<NodeId>> thread_sched_;
+  std::vector<std::vector<WireId>> thread_dirty_;
+  std::vector<std::uint64_t> thread_msgs_;
+
+  Tick tick_ = 0;
+  EngineStats stats_;
+  std::function<void(SyncEngine&)> observer_;
+};
+
+}  // namespace dtop

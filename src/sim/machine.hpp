@@ -1,0 +1,45 @@
+// The Machine concept: what the engine requires of a per-processor automaton.
+//
+// The paper's model (Section 1.1): identical synchronous finite-state
+// processors; within one global clock pulse each processor reads the inputs
+// from its in-ports, performs its state change, and broadcasts its outputs.
+// The engine enforces exactly that discipline: all reads see the characters
+// sent during the *previous* tick (double buffering), and writes become
+// visible at the next tick.
+//
+// A Machine type M must provide:
+//   using Message = ...;            trivially-copyable wire character type
+//   struct Config { ... };          shared run configuration (+ sinks)
+//   M(const MachineEnv&, const Config&);
+//   template <typename Ctx> void step(Ctx&);   or step(Context<M>&)
+//   bool idle() const;              true => stepping with blank inputs is a
+//                                   no-op, so the engine may skip the node
+//   bool terminated() const;        root machine: protocol complete
+//
+// Machines never learn their NodeId: the paper's processors are anonymous
+// finite-state devices. The only spatial facts available are the ones the
+// model grants: whether this processor is the root, the degree bound, and
+// in-/out-port awareness (connection masks).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/port_graph.hpp"
+
+namespace dtop {
+
+using Tick = std::int64_t;
+
+struct MachineEnv {
+  bool is_root = false;
+  Port delta = 0;
+  std::uint8_t in_mask = 0;   // connected in-ports (in-port awareness)
+  std::uint8_t out_mask = 0;  // connected out-ports (out-port awareness)
+
+  // Observability only. The protocol logic never reads this (the paper's
+  // processors are anonymous); it exists so metrics sinks and test observers
+  // can attribute events to simulator nodes.
+  NodeId debug_id = kNoNode;
+};
+
+}  // namespace dtop

@@ -1,0 +1,77 @@
+#include "sim/thread_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace dtop {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  DTOP_REQUIRE(num_threads >= 1, "ThreadPool needs >= 1 thread");
+  threads_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& body) {
+  if (num_threads_ == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    first_error_ = nullptr;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is worker 0.
+  try {
+    body(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(int index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    try {
+      (*body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dtop

@@ -1,0 +1,49 @@
+// A minimal persistent thread pool with a fork-join `run` primitive, used by
+// the engine to execute one BSP superstep (one global clock tick) in
+// parallel. One pool outlives the whole simulation; each tick performs a
+// single fork-join, which doubles as the BSP barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtop {
+
+class ThreadPool {
+ public:
+  // num_threads == total workers (including the calling thread's share):
+  // run(body) invokes body(i) for i in [0, num_threads), body(0) on the
+  // calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return num_threads_; }
+
+  // Blocks until every body(i) has returned. Exceptions from worker bodies
+  // are rethrown on the calling thread.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  void worker_loop(int index);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* body_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dtop

@@ -1,0 +1,20 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace dtop {
+
+void raise_error(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "DTOP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+namespace detail {
+std::string format_check_message() { return {}; }
+std::string format_check_message(const std::string& m) { return m; }
+}  // namespace detail
+
+}  // namespace dtop

@@ -1,0 +1,52 @@
+// Error handling for dtop.
+//
+// The simulator is a *model checker* for the protocol as much as a runtime:
+// any violation of a protocol invariant (hold-queue overflow, a character on
+// an unexpected lane, loop-mark clobbering, ...) must stop the run loudly
+// rather than silently corrupt the experiment. DTOP_CHECK is therefore active
+// in all build types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dtop {
+
+// Thrown on any violated invariant or precondition.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+[[noreturn]] void raise_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace detail {
+std::string format_check_message();
+std::string format_check_message(const std::string& m);
+inline std::string format_check_message(const char* m) {
+  return std::string(m);
+}
+}  // namespace detail
+
+// Always-on invariant check. Usage:
+//   DTOP_CHECK(cond);
+//   DTOP_CHECK(cond, "context " + std::to_string(x));
+#define DTOP_CHECK(cond, ...)                                  \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::dtop::raise_error(__FILE__, __LINE__, #cond,           \
+                          ::dtop::detail::format_check_message(\
+                              __VA_ARGS__));                   \
+    }                                                          \
+  } while (0)
+
+// Precondition check for public API entry points (same behaviour, distinct
+// name so call sites document intent).
+#define DTOP_REQUIRE(cond, ...) DTOP_CHECK(cond, __VA_ARGS__)
+
+[[noreturn]] inline void unreachable(const char* what) {
+  throw Error(std::string("unreachable: ") + what);
+}
+
+}  // namespace dtop

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation.
+//
+// Reproducibility is a hard requirement: every random network in the test and
+// benchmark suites is identified by (family, parameters, seed) and must be
+// identical on every platform. We therefore carry our own generator
+// (xoshiro256** seeded via splitmix64) instead of relying on unspecified
+// standard-library distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dtop {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) — bound must be nonzero. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent stream (for parallel workers / sub-generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dtop

@@ -1,0 +1,154 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace dtop {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ ? mean_ : 0.0; }
+
+double Accumulator::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  DTOP_REQUIRE(n_ > 0, "Accumulator::min on empty");
+  return min_;
+}
+
+double Accumulator::max() const {
+  DTOP_REQUIRE(n_ > 0, "Accumulator::max on empty");
+  return max_;
+}
+
+double Samples::percentile(double p) const {
+  DTOP_REQUIRE(!xs_.empty(), "Samples::percentile on empty");
+  DTOP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Samples::mean() const {
+  DTOP_REQUIRE(!xs_.empty(), "Samples::mean on empty");
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::min() const {
+  DTOP_REQUIRE(!xs_.empty(), "Samples::min on empty");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  DTOP_REQUIRE(!xs_.empty(), "Samples::max on empty");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+namespace {
+
+double r_squared(const std::vector<double>& x, const std::vector<double>& y,
+                 double slope, double intercept) {
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = slope * x[i] + intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  return ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+}
+
+}  // namespace
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  DTOP_REQUIRE(x.size() == y.size() && x.size() >= 2,
+               "fit_linear needs >= 2 paired samples");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) {
+    f.slope = 0.0;
+    f.intercept = sy / n;
+  } else {
+    f.slope = (n * sxy - sx * sy) / denom;
+    f.intercept = (sy - f.slope * sx) / n;
+  }
+  f.r2 = r_squared(x, y, f.slope, f.intercept);
+  return f;
+}
+
+LinearFit fit_proportional(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  DTOP_REQUIRE(x.size() == y.size() && !x.empty(),
+               "fit_proportional needs paired samples");
+  double sxy = 0, sxx = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  LinearFit f;
+  f.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  f.intercept = 0.0;
+  f.r2 = r_squared(x, y, f.slope, 0.0);
+  return f;
+}
+
+LinearFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  DTOP_REQUIRE(x.size() == y.size() && x.size() >= 2,
+               "fit_power_law needs >= 2 paired samples");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DTOP_REQUIRE(x[i] > 0.0 && y[i] > 0.0, "power-law fit needs positives");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  LinearFit lf = fit_linear(lx, ly);
+  LinearFit f;
+  f.slope = lf.slope;                  // the exponent b
+  f.intercept = std::exp(lf.intercept);  // the prefactor a
+  f.r2 = lf.r2;
+  return f;
+}
+
+double log2_factorial(double n) {
+  if (n <= 1.0) return 0.0;
+  return std::lgamma(n + 1.0) / std::log(2.0);
+}
+
+}  // namespace dtop

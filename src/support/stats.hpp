@@ -1,0 +1,71 @@
+// Small statistics toolkit used by the benchmark harness: running moments,
+// min/max, percentiles, and least-squares fits (the experiments report slopes
+// such as ticks-per-loop-hop and ratios such as T / (N * D)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtop {
+
+// Streaming accumulator: count, mean, variance (Welford), min, max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1); 0 when n < 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples; supports exact percentiles.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double percentile(double p) const;  // p in [0, 100]
+  double mean() const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+// Ordinary least squares y = slope * x + intercept.
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+// Fits y = c * x (through the origin); returns c and R^2.
+LinearFit fit_proportional(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+// Fits the exponent b of y = a * x^b by OLS in log-log space.
+LinearFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+// log2(n!) via lgamma — exact enough for the counting bounds of Section 5.
+double log2_factorial(double n);
+
+}  // namespace dtop

@@ -1,0 +1,84 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace dtop {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DTOP_REQUIRE(!header_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DTOP_REQUIRE(cells.size() == header_.size(),
+               "Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  cells_.push_back(format_double(v, precision));
+  return *this;
+}
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << "\n";
+  };
+
+  if (!caption_.empty()) os << caption_ << "\n";
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-');
+    os << (c + 1 == header_.size() ? "|" : "+");
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace dtop

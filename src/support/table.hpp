@@ -1,0 +1,51 @@
+// Plain-text table printer. Each bench binary regenerates a "table" in the
+// style a paper would print: a header row, aligned columns, and a caption.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dtop {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Row cells as preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: builds a row from heterogeneous values.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(const char* s);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+    RowBuilder& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+    RowBuilder& cell(double v, int precision = 3);
+    ~RowBuilder();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string caption_;
+};
+
+std::string format_double(double v, int precision = 3);
+
+}  // namespace dtop

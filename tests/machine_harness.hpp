@@ -1,0 +1,88 @@
+// Drives a single GtdMachine without an engine: tests enqueue input
+// characters per in-port, step the machine one tick at a time, and inspect
+// the characters it emits per out-port. This isolates the lane rules
+// (acceptance, tie-breaks, residence delays, conversions) from the network.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "proto/gtd_machine.hpp"
+
+namespace dtop {
+
+class MachineHarness {
+ public:
+  // All `delta` in- and out-ports are connected unless masks are given.
+  MachineHarness(bool is_root, Port delta, const GtdMachine::Config& cfg,
+                 std::uint8_t in_mask = 0xFF, std::uint8_t out_mask = 0xFF)
+      : env_{is_root, delta,
+             static_cast<std::uint8_t>(in_mask & ((1u << delta) - 1)),
+             static_cast<std::uint8_t>(out_mask & ((1u << delta) - 1)),
+             /*debug_id=*/0},
+        machine_(env_, cfg) {}
+
+  GtdMachine& machine() { return machine_; }
+  Tick now() const { return tick_; }
+
+  // Stages an input for the next step() call.
+  Character& input(Port p) {
+    if (!inputs_[p]) inputs_[p] = Character{};
+    return *inputs_[p];
+  }
+
+  // One tick: feeds staged inputs, collects outputs. Returns outputs per
+  // out-port (nullopt = blank).
+  const std::array<std::optional<Character>, kMaxDegree>& step() {
+    ++tick_;
+    StepContext<Character> ctx;
+    ctx.tick_ = tick_;
+    for (Port p = 0; p < kMaxDegree; ++p) {
+      ctx.inputs_[p] =
+          (p < env_.delta && (env_.in_mask & (1u << p)) && inputs_[p])
+              ? &*inputs_[p]
+              : nullptr;
+      ctx.out_wires_[p] =
+          (p < env_.delta && (env_.out_mask & (1u << p))) ? p : kNoWire;
+    }
+    for (auto& o : outputs_) o.reset();
+    present_.fill(0);
+    ctx.next_msgs_ = staged_.data();
+    ctx.next_present_ = present_.data();
+    ctx.targets_ = targets_.data();
+    ctx.dirty_ = &dirty_;
+    ctx.to_schedule_ = &sched_;
+    ctx.message_count_ = &messages_;
+    dirty_.clear();
+    sched_.clear();
+
+    machine_.step(ctx);
+
+    for (Port p = 0; p < kMaxDegree; ++p)
+      if (present_[p]) outputs_[p] = staged_[p];
+    for (auto& in : inputs_) in.reset();
+    return outputs_;
+  }
+
+  // Steps with all-blank inputs.
+  const std::array<std::optional<Character>, kMaxDegree>& step_blank() {
+    return step();
+  }
+
+  std::uint64_t messages_sent() const { return messages_; }
+
+ private:
+  MachineEnv env_;
+  GtdMachine machine_;
+  Tick tick_ = 0;
+  std::array<std::optional<Character>, kMaxDegree> inputs_{};
+  std::array<std::optional<Character>, kMaxDegree> outputs_{};
+  std::array<Character, kMaxDegree> staged_{};
+  std::array<std::uint8_t, kMaxDegree> present_{};
+  std::array<NodeId, kMaxDegree> targets_{};  // dummies
+  std::vector<WireId> dirty_;
+  std::vector<NodeId> sched_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace dtop

@@ -1,0 +1,109 @@
+// Baselines (experiment E7 substrate): both must recover the exact topology
+// and hit their respective complexity envelopes — O(D) for the ideal
+// gather, O(E + D) for link-state flooding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/baseline.hpp"
+#include "graph/analysis.hpp"
+#include "graph/families.hpp"
+#include "graph/random_graph.hpp"
+
+namespace dtop {
+namespace {
+
+void expect_exact(const PortGraph& truth, const PortGraph& got) {
+  ASSERT_EQ(truth.num_nodes(), got.num_nodes());
+  ASSERT_EQ(truth.num_wires(), got.num_wires());
+  // Baselines keep real node ids, so wires must match as sets.
+  auto key = [](const Wire& w) {
+    return std::tuple(w.from, w.out_port, w.to, w.in_port);
+  };
+  std::vector<std::tuple<NodeId, Port, NodeId, Port>> a, b;
+  for (WireId w : truth.wire_ids()) a.push_back(key(truth.wire(w)));
+  for (WireId w : got.wire_ids()) b.push_back(key(got.wire(w)));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(IdealGather, ExactOnFamilies) {
+  for (const auto& name : {"dering", "debruijn", "treeloop", "torus"}) {
+    const FamilyInstance fi = make_family(name, 32, 5);
+    const BaselineResult r = run_ideal_gather(fi.graph, 0);
+    ASSERT_TRUE(r.complete) << name;
+    expect_exact(fi.graph, r.map);
+  }
+}
+
+TEST(IdealGather, CompletesInDiameterTime) {
+  // Wake ~ ecc(root), announce 1, gather ~ ecc(->root): <= 2D + small.
+  for (NodeId n : {16u, 64u}) {
+    const PortGraph g = bidirectional_ring(n);
+    const BaselineResult r = run_ideal_gather(g, 0);
+    ASSERT_TRUE(r.complete);
+    const auto d = static_cast<Tick>(diameter(g));
+    EXPECT_LE(r.completion_tick, 2 * d + 8) << "n=" << n;
+  }
+}
+
+TEST(IdealGather, RandomGraphsExact) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const PortGraph g = random_strongly_connected(
+        {.nodes = 30, .delta = 4, .avg_out_degree = 2.5, .seed = seed});
+    const BaselineResult r = run_ideal_gather(g, seed % 30);
+    ASSERT_TRUE(r.complete);
+    expect_exact(g, r.map);
+  }
+}
+
+TEST(LinkState, ExactOnFamilies) {
+  for (const auto& name : {"dering", "debruijn", "treeloop", "torus"}) {
+    const FamilyInstance fi = make_family(name, 32, 5);
+    const BaselineResult r = run_link_state(fi.graph, 0);
+    ASSERT_TRUE(r.complete) << name;
+    expect_exact(fi.graph, r.map);
+  }
+}
+
+TEST(LinkState, CompletesInEdgesPlusDiameterTime) {
+  for (NodeId n : {16u, 48u}) {
+    const PortGraph g = bidirectional_ring(n);
+    const BaselineResult r = run_link_state(g, 0);
+    ASSERT_TRUE(r.complete);
+    const auto d = static_cast<Tick>(diameter(g));
+    const auto e = static_cast<Tick>(g.num_wires());
+    EXPECT_LE(r.completion_tick, e + 2 * d + 16) << "n=" << n;
+  }
+}
+
+TEST(LinkState, SlowerThanIdealOnDenseGraphs) {
+  // The bandwidth limit must actually bite: on a graph with many edges the
+  // link-state flood takes longer than the ideal gather.
+  const PortGraph g = random_strongly_connected(
+      {.nodes = 48, .delta = 4, .avg_out_degree = 3.5, .seed = 2});
+  const BaselineResult ideal = run_ideal_gather(g, 0);
+  const BaselineResult ls = run_link_state(g, 0);
+  ASSERT_TRUE(ideal.complete);
+  ASSERT_TRUE(ls.complete);
+  EXPECT_GT(ls.completion_tick, ideal.completion_tick);
+}
+
+TEST(Baselines, SelfLoopsAndParallelEdges) {
+  PortGraph g(3, 3);
+  g.connect(0, 0, 0, 0);  // self loop at root
+  g.connect(0, 1, 1, 0);
+  g.connect(0, 2, 1, 1);  // parallel edge
+  g.connect(1, 0, 2, 0);
+  g.connect(2, 0, 0, 1);
+  const BaselineResult a = run_ideal_gather(g, 0);
+  ASSERT_TRUE(a.complete);
+  expect_exact(g, a.map);
+  const BaselineResult b = run_link_state(g, 0);
+  ASSERT_TRUE(b.complete);
+  expect_exact(g, b.map);
+}
+
+}  // namespace
+}  // namespace dtop

@@ -1,0 +1,212 @@
+// Canonical BFS trees / canonical shortest paths (Definition 4.1) and the
+// network families.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/canonical.hpp"
+#include "graph/families.hpp"
+#include "graph/isomorphism.hpp"
+#include "graph/random_graph.hpp"
+
+namespace dtop {
+namespace {
+
+TEST(Canonical, PathOnDirectedRing) {
+  const PortGraph g = directed_ring(4);
+  const CanonicalTree t = canonical_bfs_tree(g, 0);
+  EXPECT_EQ(t.dist[3], 3u);
+  const PortPath p = canonical_path(g, t, 3);
+  ASSERT_EQ(p.size(), 3u);
+  for (const PortStep& s : p) {
+    EXPECT_EQ(s.out, 0);
+    EXPECT_EQ(s.in, 0);
+  }
+  EXPECT_EQ(walk_path(g, 0, p), 3u);
+}
+
+TEST(Canonical, LowestInPortTieBreak) {
+  // Two length-2 paths from 0 to 3; the tie must break on node 3's lowest
+  // in-port, regardless of other port numbers.
+  PortGraph g(4, 2);
+  g.connect(0, 0, 1, 0);
+  g.connect(0, 1, 2, 0);
+  g.connect(1, 0, 3, 1);  // via node 1 -> in-port 1 of node 3
+  g.connect(2, 0, 3, 0);  // via node 2 -> in-port 0 of node 3 (wins)
+  g.connect(3, 0, 0, 1);  // close the cycle
+  const CanonicalTree t = canonical_bfs_tree(g, 0);
+  const PortPath p = canonical_path(g, t, 3);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1].in, 0);  // entered through in-port 0
+  EXPECT_EQ(p[0].out, 1);  // therefore went 0 -> 2 first
+}
+
+TEST(Canonical, PrefixProperty) {
+  // Every prefix of a canonical path is the canonical path of the
+  // intermediate node — the invariant that makes down-path naming work.
+  const PortGraph g = random_strongly_connected(
+      {.nodes = 40, .delta = 4, .avg_out_degree = 2.5, .seed = 21});
+  const CanonicalTree t = canonical_bfs_tree(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PortPath p = canonical_path(g, t, v);
+    NodeId cur = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const WireId w = g.out_wire(cur, p[i].out);
+      cur = g.wire(w).to;
+      PortPath prefix(p.begin(), p.begin() + static_cast<long>(i) + 1);
+      EXPECT_EQ(prefix, canonical_path(g, t, cur));
+    }
+    EXPECT_EQ(cur, v);
+  }
+}
+
+TEST(Canonical, WalkPathRejectsBadPaths) {
+  const PortGraph g = directed_ring(3);
+  EXPECT_THROW(walk_path(g, 0, PortPath{{1, 0}}), Error);  // port 1 dangling
+  EXPECT_THROW(walk_path(g, 0, PortPath{{0, 1}}), Error);  // wrong in-port
+}
+
+TEST(Families, DirectedRingShape) {
+  const PortGraph g = directed_ring(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_wires(), 6u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  g.validate();
+}
+
+TEST(Families, BidirectionalRingShape) {
+  const PortGraph g = bidirectional_ring(5);
+  EXPECT_EQ(g.num_wires(), 10u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Families, TreeLoopShape) {
+  // depth 3: 15 nodes, 8 leaves; tree edges 2*14 = 28, loop edges 8.
+  const PortGraph g = tree_loop_random(3, 5);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_wires(), 28u + 8u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  g.validate();
+  EXPECT_LE(diameter(g), 2u * 3u + 8u);
+}
+
+TEST(Families, TreeLoopDistinctOrdersDistinctTopologies) {
+  // Lemma 5.1's heart: different leaf orders give non-isomorphic
+  // port-labelled networks (rooted at the tree root).
+  const PortGraph a = tree_loop(2, {0, 1, 2, 3});
+  const PortGraph b = tree_loop(2, {0, 2, 1, 3});
+  EXPECT_FALSE(rooted_isomorphic(a, 0, b, 0).isomorphic);
+}
+
+TEST(Families, TreeLoopRejectsBadPermutation) {
+  EXPECT_THROW(tree_loop(2, {0, 1, 2, 2}), Error);
+  EXPECT_THROW(tree_loop(2, {0, 1, 2}), Error);
+}
+
+TEST(Families, DeBruijnShape) {
+  const PortGraph g = de_bruijn(4);  // 16 nodes
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_wires(), 32u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_EQ(diameter(g), 4u);
+  g.validate();
+}
+
+TEST(Families, ShuffleExchangeShape) {
+  const PortGraph g = shuffle_exchange(4);  // 16 nodes
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_wires(), 32u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 2);
+    EXPECT_EQ(g.in_degree(v), 2);
+  }
+  EXPECT_LE(diameter(g), 2u * 4u);
+}
+
+TEST(Families, WrappedButterflyShape) {
+  const PortGraph g = wrapped_butterfly(3);  // 24 nodes
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.num_wires(), 48u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 2);
+    EXPECT_EQ(g.in_degree(v), 2);
+  }
+}
+
+TEST(Families, TreeLoopAllOrdersPairwiseDistinct) {
+  // Lemma 5.1 exhaustively at depth 2: with leaf 0 pinned first, all 6
+  // cyclic orders of the remaining 3 leaves yield pairwise non-isomorphic
+  // rooted port-labelled networks — the counting argument's base case.
+  std::vector<std::vector<std::uint32_t>> orders;
+  std::vector<std::uint32_t> rest{1, 2, 3};
+  std::sort(rest.begin(), rest.end());
+  do {
+    std::vector<std::uint32_t> order{0};
+    order.insert(order.end(), rest.begin(), rest.end());
+    orders.push_back(order);
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  ASSERT_EQ(orders.size(), 6u);
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    for (std::size_t j = i + 1; j < orders.size(); ++j) {
+      const PortGraph a = tree_loop(2, orders[i]);
+      const PortGraph b = tree_loop(2, orders[j]);
+      EXPECT_FALSE(rooted_isomorphic(a, 0, b, 0).isomorphic)
+          << "orders " << i << " and " << j;
+    }
+  }
+}
+
+TEST(Families, KautzShape) {
+  const PortGraph g = kautz(3);  // 3 * 2^2 = 12 nodes
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_wires(), 24u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_LE(diameter(g), 3u);
+}
+
+TEST(Families, CccShape) {
+  const PortGraph g = cube_connected_cycles(3);  // 24 nodes, degree 3
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_TRUE(is_strongly_connected(g));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.out_degree(v), 3);
+    EXPECT_EQ(g.in_degree(v), 3);
+  }
+}
+
+TEST(Families, TorusShape) {
+  const PortGraph g = directed_torus(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_wires(), 24u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Families, DegradedGridStaysStronglyConnected) {
+  const PortGraph g = degraded_grid(4, 4, 0.3, 17);
+  EXPECT_TRUE(is_strongly_connected(g));
+  g.validate();
+  // Some wires must actually have been dropped.
+  const PortGraph full = degraded_grid(4, 4, 0.0, 17);
+  EXPECT_LT(g.num_wires() + 0u, full.num_wires() + 0u);
+}
+
+TEST(Families, SatelliteRingsShape) {
+  const PortGraph g = satellite_rings(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Families, DispatcherKnowsAllNames) {
+  for (const std::string& name : family_names()) {
+    const FamilyInstance fi = make_family(name, 24, 3);
+    EXPECT_EQ(fi.label, name);
+    EXPECT_GE(fi.graph.num_nodes(), 2u) << name;
+    EXPECT_TRUE(is_strongly_connected(fi.graph)) << name;
+    fi.graph.validate();
+  }
+  EXPECT_THROW(make_family("nonsense", 8, 1), Error);
+}
+
+}  // namespace
+}  // namespace dtop

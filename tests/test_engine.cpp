@@ -1,0 +1,186 @@
+// Engine semantics: lockstep delivery, blank handling, active-set
+// scheduling, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "graph/families.hpp"
+#include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace dtop {
+namespace {
+
+// A tiny test machine: counts everything it receives; when primed, emits one
+// token that hops forward forever.
+struct HopMessage {
+  int hops = 0;
+};
+
+class HopMachine {
+ public:
+  using Message = HopMessage;
+  struct Config {};
+
+  HopMachine(const MachineEnv& env, const Config&) : env_(env) {}
+
+  void step(StepContext<Message>& ctx) {
+    ++steps_;
+    if (env_.is_root && !primed_) {
+      primed_ = true;
+      ctx.out(first_out()).hops = 1;
+      return;
+    }
+    for (Port p = 0; p < env_.delta; ++p) {
+      const Message* in = ctx.input(p);
+      if (!in) continue;
+      ++received_;
+      last_hops_ = in->hops;
+      ctx.out(first_out()).hops = in->hops + 1;
+    }
+  }
+
+  bool idle() const { return true; }
+  bool terminated() const { return false; }
+
+  int steps() const { return steps_; }
+  int received() const { return received_; }
+  int last_hops() const { return last_hops_; }
+
+ private:
+  Port first_out() const {
+    for (Port p = 0; p < env_.delta; ++p)
+      if (env_.out_mask & (1u << p)) return p;
+    return 0;
+  }
+  MachineEnv env_;
+  bool primed_ = false;
+  int steps_ = 0;
+  int received_ = 0;
+  int last_hops_ = 0;
+};
+
+TEST(Engine, OneHopPerTick) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  e.schedule(0);
+  e.step();  // root emits hops=1 toward node 1
+  e.step();  // node 1 receives
+  EXPECT_EQ(e.machine(1).received(), 1);
+  EXPECT_EQ(e.machine(1).last_hops(), 1);
+  EXPECT_EQ(e.machine(2).received(), 0);
+  e.step();
+  EXPECT_EQ(e.machine(2).received(), 1);
+  EXPECT_EQ(e.machine(2).last_hops(), 2);
+}
+
+TEST(Engine, IdleNodesAreNotStepped) {
+  const PortGraph g = directed_ring(8);
+  SyncEngine<HopMachine> e(g, 0, {});
+  e.schedule(0);
+  for (int i = 0; i < 4; ++i) e.step();
+  // The token has visited nodes 1..3; nodes 5..7 were never touched.
+  EXPECT_GT(e.machine(1).steps(), 0);
+  EXPECT_EQ(e.machine(5).steps(), 0);
+  EXPECT_EQ(e.machine(6).steps(), 0);
+  // Active set is exactly one node per tick here.
+  EXPECT_EQ(e.stats().max_active, 1u);
+}
+
+TEST(Engine, MessagesCounted) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  e.schedule(0);
+  for (int i = 0; i < 10; ++i) e.step();
+  EXPECT_EQ(e.stats().messages, 10u);  // one character per tick
+  EXPECT_EQ(e.stats().ticks, 10);
+}
+
+TEST(Engine, StagedMessageVisible) {
+  const PortGraph g = directed_ring(3);
+  SyncEngine<HopMachine> e(g, 0, {});
+  e.schedule(0);
+  e.step();
+  const WireId w01 = g.out_wire(0, 0);
+  ASSERT_TRUE(e.wire_pending(w01));
+  ASSERT_NE(e.staged_message(w01), nullptr);
+  EXPECT_EQ(e.staged_message(w01)->hops, 1);
+  const WireId w12 = g.out_wire(1, 0);
+  EXPECT_FALSE(e.wire_pending(w12));
+  EXPECT_EQ(e.staged_message(w12), nullptr);
+}
+
+TEST(Engine, ObserverRunsEveryTick) {
+  const PortGraph g = directed_ring(3);
+  SyncEngine<HopMachine> e(g, 0, {});
+  int calls = 0;
+  e.set_observer([&](SyncEngine<HopMachine>&) { ++calls; });
+  e.schedule(0);
+  for (int i = 0; i < 5; ++i) e.step();
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Engine, RootOutOfRangeRejected) {
+  const PortGraph g = directed_ring(3);
+  EXPECT_THROW((SyncEngine<HopMachine>(g, 7, {})), Error);
+}
+
+TEST(Engine, ParallelMatchesSequentialHops) {
+  const PortGraph g = bidirectional_ring(16);
+  SyncEngine<HopMachine> seq(g, 0, {}, 1);
+  SyncEngine<HopMachine> par(g, 0, {}, 4);
+  seq.schedule(0);
+  par.schedule(0);
+  for (int i = 0; i < 40; ++i) {
+    seq.step();
+    par.step();
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(seq.machine(v).received(), par.machine(v).received()) << v;
+    EXPECT_EQ(seq.machine(v).last_hops(), par.machine(v).last_hops()) << v;
+  }
+  EXPECT_EQ(seq.stats().messages, par.stats().messages);
+}
+
+TEST(ThreadPool, AllIndicesRun) {
+  ThreadPool pool(4);
+  std::atomic<int> mask{0};
+  pool.run([&](int i) { mask.fetch_or(1 << i); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run([&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int x = 0;
+  pool.run([&](int i) {
+    EXPECT_EQ(i, 0);
+    x = 42;
+  });
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([&](int i) {
+        if (i == 2) throw Error("boom");
+      }),
+      Error);
+  // Pool survives and remains usable.
+  std::atomic<int> count{0};
+  pool.run([&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), Error); }
+
+}  // namespace
+}  // namespace dtop

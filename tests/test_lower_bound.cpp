@@ -1,0 +1,84 @@
+// Section 5 mathematics: the counting bound behind Theorem 5.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bound/lower_bound.hpp"
+#include "support/stats.hpp"
+
+namespace dtop {
+namespace {
+
+TEST(LowerBound, TopologyCountMatchesFactorial) {
+  // depth 2: 4 leaves, (4-1)! = 6 cyclic orders.
+  EXPECT_NEAR(log2_topology_count(2), std::log2(6.0), 1e-9);
+  // depth 3: 8 leaves, 7! = 5040.
+  EXPECT_NEAR(log2_topology_count(3), std::log2(5040.0), 1e-9);
+}
+
+TEST(LowerBound, NodesOfFamily) {
+  EXPECT_EQ(tree_loop_nodes(1), 3u);
+  EXPECT_EQ(tree_loop_nodes(3), 15u);
+  EXPECT_EQ(tree_loop_nodes(10), 2047u);
+}
+
+TEST(LowerBound, GrowsLikeNLogN) {
+  // log2 G(N) / (N log2 N) must approach a positive constant (Lemma 5.1's
+  // G(N) >= N^(C*N)).
+  double prev_ratio = 0.0;
+  for (int depth = 6; depth <= 16; ++depth) {
+    const double n = static_cast<double>(tree_loop_nodes(depth));
+    const double ratio = log2_topology_count(depth) / (n * std::log2(n));
+    EXPECT_GT(ratio, 0.2);
+    EXPECT_LT(ratio, 1.0);
+    if (depth > 6) {
+      EXPECT_NEAR(ratio, prev_ratio, 0.05);
+    }
+    prev_ratio = ratio;
+  }
+}
+
+TEST(LowerBound, AlphabetSizeSane) {
+  // |I| must be a nontrivial constant: more than a handful of bits, far
+  // less than a kilobit, monotone in delta.
+  const double bits2 = log2_alphabet_size(2);
+  const double bits4 = log2_alphabet_size(4);
+  EXPECT_GT(bits2, 10.0);
+  EXPECT_LT(bits4, 100.0);
+  EXPECT_GT(bits4, bits2);
+}
+
+TEST(LowerBound, TranscriptCapacityScalesWithDelta) {
+  EXPECT_NEAR(transcript_bits_per_tick(3), 3.0 * log2_alphabet_size(3),
+              1e-12);
+}
+
+TEST(LowerBound, LowerBoundTicksPositiveAndGrowing) {
+  double prev = 0.0;
+  for (int depth = 4; depth <= 12; ++depth) {
+    const double lb = lower_bound_ticks(depth, 3);
+    EXPECT_GT(lb, prev);
+    prev = lb;
+  }
+  // Superlinear growth in N: LB(N)/N increases.
+  const double a = lower_bound_ticks(8, 3) /
+                   static_cast<double>(tree_loop_nodes(8));
+  const double b = lower_bound_ticks(14, 3) /
+                   static_cast<double>(tree_loop_nodes(14));
+  EXPECT_GT(b, a);
+}
+
+TEST(LowerBound, AbstractFormMatches) {
+  const double lb = lower_bound_ticks(6, 3);
+  const double abs_lb = lower_bound_ticks_abstract(
+      log2_topology_count(6), 3, log2_alphabet_size(3));
+  EXPECT_DOUBLE_EQ(lb, abs_lb);
+}
+
+TEST(LowerBound, RejectsBadArguments) {
+  EXPECT_THROW(log2_topology_count(0), Error);
+  EXPECT_THROW(lower_bound_ticks_abstract(10.0, 3, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace dtop

@@ -1,0 +1,177 @@
+// The master computer in isolation: feeding synthetic transcripts to the
+// MapBuilder and checking both the happy path and the malformed-stream
+// defences.
+#include <gtest/gtest.h>
+
+#include "core/map_builder.hpp"
+
+namespace dtop {
+namespace {
+
+using K = TranscriptEvent::Kind;
+
+TranscriptEvent ev(K kind, Port out = kNoPort, Port in = kNoPort,
+                   Tick tick = 0) {
+  TranscriptEvent e;
+  e.kind = kind;
+  e.tick = tick;
+  e.out = out;
+  e.in = in;
+  return e;
+}
+
+// Synthetic transcript for the triangle 0 -> 1 -> 2 -> 0 (all ports 0), as
+// the protocol would produce it.
+std::vector<TranscriptEvent> triangle_transcript() {
+  std::vector<TranscriptEvent> t;
+  t.push_back(ev(K::kInit));
+  // RCA of node 1 (down 0->1; up 1->2->0), FORWARD over edge 0->1.
+  t.push_back(ev(K::kUpStep, 0, 0));
+  t.push_back(ev(K::kUpStep, 0, 0));
+  t.push_back(ev(K::kUpEnd));
+  t.push_back(ev(K::kDownStep, 0, 0));
+  t.push_back(ev(K::kDownEnd));
+  t.push_back(ev(K::kForward, 0, 0));
+  // RCA of node 2 (down 0->1->2; up 2->0), FORWARD over edge 1->2.
+  t.push_back(ev(K::kUpStep, 0, 0));
+  t.push_back(ev(K::kUpEnd));
+  t.push_back(ev(K::kDownStep, 0, 0));
+  t.push_back(ev(K::kDownStep, 0, 0));
+  t.push_back(ev(K::kDownEnd));
+  t.push_back(ev(K::kForward, 0, 0));
+  // Token reaches the root through edge 2->0: self-forward, then bounced
+  // back: node 2 pops with a BACK RCA.
+  t.push_back(ev(K::kSelfForward, 0, 0));
+  t.push_back(ev(K::kUpStep, 0, 0));
+  t.push_back(ev(K::kUpEnd));
+  t.push_back(ev(K::kDownStep, 0, 0));
+  t.push_back(ev(K::kDownStep, 0, 0));
+  t.push_back(ev(K::kDownEnd));
+  t.push_back(ev(K::kBack));
+  // Node 2 finished; returns to node 1 which pops with BACK.
+  t.push_back(ev(K::kUpStep, 0, 0));
+  t.push_back(ev(K::kUpStep, 0, 0));
+  t.push_back(ev(K::kUpEnd));
+  t.push_back(ev(K::kDownStep, 0, 0));
+  t.push_back(ev(K::kDownEnd));
+  t.push_back(ev(K::kBack));
+  // Node 1 finished; root receives the final return: self back.
+  t.push_back(ev(K::kSelfBack));
+  t.push_back(ev(K::kTerminated));
+  return t;
+}
+
+TEST(MapBuilder, TriangleTranscriptBuildsTriangle) {
+  MapBuilder b(2);
+  for (const auto& e : triangle_transcript()) b.consume(e);
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(b.map().node_count(), 3u);
+  EXPECT_EQ(b.map().edge_count(), 3u);
+  EXPECT_EQ(b.stack_depth(), 1u);
+  // Node identities: root = [], node1 = [(0,0)], node2 = [(0,0),(0,0)].
+  EXPECT_EQ(b.map().find(PortPath{}), 0u);
+  EXPECT_NE(b.map().find(PortPath{{0, 0}}), kNoNode);
+  EXPECT_NE(b.map().find(PortPath{{0, 0}, {0, 0}}), kNoNode);
+  const PortGraph g = b.map().to_port_graph();
+  EXPECT_EQ(g.num_wires(), 3u);
+}
+
+TEST(MapBuilder, RecordsKeepPaths) {
+  MapBuilder b(2);
+  for (const auto& e : triangle_transcript()) b.consume(e);
+  ASSERT_EQ(b.records().size(), 6u);
+  EXPECT_TRUE(b.records()[0].forward);
+  EXPECT_EQ(b.records()[0].up.size(), 2u);
+  EXPECT_EQ(b.records()[0].down.size(), 1u);
+  EXPECT_TRUE(b.records()[2].self);
+}
+
+TEST(MapBuilder, RejectsDownBeforeUp) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  EXPECT_THROW(b.consume(ev(K::kDownStep, 0, 0)), Error);
+}
+
+TEST(MapBuilder, RejectsForwardWithoutPaths) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  EXPECT_THROW(b.consume(ev(K::kForward, 0, 0)), Error);
+}
+
+TEST(MapBuilder, RejectsEmptyUpPath) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  EXPECT_THROW(b.consume(ev(K::kUpEnd)), Error);
+}
+
+TEST(MapBuilder, RejectsUnbalancedBack) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  // BACK with only the root on the stack must fail.
+  b.consume(ev(K::kUpStep, 0, 0));
+  b.consume(ev(K::kUpEnd));
+  b.consume(ev(K::kDownStep, 0, 0));
+  b.consume(ev(K::kDownEnd));
+  EXPECT_THROW(b.consume(ev(K::kBack)), Error);
+}
+
+TEST(MapBuilder, RejectsTerminationMidRca) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  b.consume(ev(K::kUpStep, 0, 0));
+  EXPECT_THROW(b.consume(ev(K::kTerminated)), Error);
+}
+
+TEST(MapBuilder, RejectsEventsAfterTermination) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  b.consume(ev(K::kTerminated));
+  EXPECT_THROW(b.consume(ev(K::kSelfForward, 0, 0)), Error);
+}
+
+TEST(MapBuilder, RejectsConflictingEdges) {
+  MapBuilder b(2);
+  b.consume(ev(K::kInit));
+  // First RCA: edge (root, out 0) -> node1 in 0.
+  b.consume(ev(K::kUpStep, 0, 0));
+  b.consume(ev(K::kUpEnd));
+  b.consume(ev(K::kDownStep, 0, 0));
+  b.consume(ev(K::kDownEnd));
+  b.consume(ev(K::kForward, 0, 0));
+  // The token returns to the root (pop of node1 is a self event: the
+  // receiver of the return is the root itself).
+  b.consume(ev(K::kSelfBack));
+  // Second FORWARD from the root on the SAME out-port toward a different
+  // in-port: the out-port can only host one wire.
+  b.consume(ev(K::kUpStep, 1, 0));
+  b.consume(ev(K::kUpEnd));
+  b.consume(ev(K::kDownStep, 1, 0));
+  b.consume(ev(K::kDownEnd));
+  EXPECT_THROW(b.consume(ev(K::kForward, 0, 1)), Error);
+}
+
+TEST(TopologyMap, InternIsIdempotent) {
+  TopologyMap m(3);
+  const PortPath p{{0, 1}, {2, 0}};
+  const NodeId a = m.intern(p);
+  const NodeId b = m.intern(p);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(m.node_count(), 2u);  // root + one
+  EXPECT_EQ(m.path_of(a), p);
+}
+
+TEST(TopologyMap, FindWithoutCreate) {
+  TopologyMap m(2);
+  EXPECT_EQ(m.find(PortPath{{0, 0}}), kNoNode);
+  EXPECT_EQ(m.find(PortPath{}), 0u);
+}
+
+TEST(TopologyMap, AddEdgeValidatesPorts) {
+  TopologyMap m(2);
+  const NodeId v = m.intern(PortPath{{0, 0}});
+  EXPECT_THROW(m.add_edge(0, 5, v, 0), Error);
+  EXPECT_THROW(m.add_edge(0, 0, 9, 0), Error);
+}
+
+}  // namespace
+}  // namespace dtop

@@ -1,0 +1,109 @@
+// Map persistence and diffing (core/map_io).
+#include <gtest/gtest.h>
+
+#include "core/gtd.hpp"
+#include "core/map_io.hpp"
+#include "graph/families.hpp"
+
+namespace dtop {
+namespace {
+
+TopologyMap sample_map() {
+  TopologyMap m(3);
+  const NodeId a = m.intern(PortPath{{0, 1}});
+  const NodeId b = m.intern(PortPath{{0, 1}, {2, 0}});
+  m.add_edge(m.root(), 0, a, 1);
+  m.add_edge(a, 2, b, 0);
+  m.add_edge(b, 0, m.root(), 0);
+  return m;
+}
+
+TEST(MapIo, PathTokens) {
+  EXPECT_EQ(path_to_token(PortPath{}), "-");
+  EXPECT_EQ(path_to_token(PortPath{{0, 1}, {2, 0}}), "0:1/2:0");
+  EXPECT_EQ(path_from_token("-"), PortPath{});
+  const PortPath p = path_from_token("0:1/2:0");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].out, 0);
+  EXPECT_EQ(p[0].in, 1);
+  EXPECT_EQ(p[1].out, 2);
+  EXPECT_EQ(p[1].in, 0);
+  EXPECT_THROW(path_from_token("junk"), std::exception);
+  EXPECT_THROW(path_from_token("9:9/"), Error);
+}
+
+TEST(MapIo, RoundTrip) {
+  const TopologyMap m = sample_map();
+  const TopologyMap n = map_from_string(map_to_string(m));
+  EXPECT_EQ(n.node_count(), m.node_count());
+  EXPECT_EQ(n.edge_count(), m.edge_count());
+  for (NodeId v = 0; v < m.node_count(); ++v)
+    EXPECT_EQ(n.path_of(v), m.path_of(v));
+  EXPECT_EQ(n.edges(), m.edges());
+}
+
+TEST(MapIo, RoundTripOfRealRun) {
+  const GtdResult r = run_gtd(de_bruijn(3), 0);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  const TopologyMap reloaded = map_from_string(map_to_string(r.map));
+  EXPECT_EQ(reloaded.node_count(), r.map.node_count());
+  EXPECT_EQ(reloaded.edges(), r.map.edges());
+}
+
+TEST(MapIo, RejectsGarbage) {
+  EXPECT_THROW(map_from_string("nope v1 2 1 0\n"), Error);
+  EXPECT_THROW(map_from_string("dtop-map v1 2 2 0\n0 -\n5 0:0\n"), Error);
+}
+
+TEST(MapDiffTest, IdenticalMapsAreEmpty) {
+  const MapDiff d = diff_maps(sample_map(), sample_map());
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.summary(), "+0/-0 nodes, +0/-0 edges");
+}
+
+TEST(MapDiffTest, DetectsRemovedEdge) {
+  const TopologyMap before = sample_map();
+  TopologyMap after(3);
+  const NodeId a = after.intern(PortPath{{0, 1}});
+  const NodeId b = after.intern(PortPath{{0, 1}, {2, 0}});
+  after.add_edge(after.root(), 0, a, 1);
+  after.add_edge(a, 2, b, 0);  // edge b -> root missing
+  const MapDiff d = diff_maps(before, after);
+  EXPECT_TRUE(d.nodes_added.empty());
+  EXPECT_TRUE(d.nodes_removed.empty());
+  EXPECT_TRUE(d.edges_added.empty());
+  ASSERT_EQ(d.edges_removed.size(), 1u);
+  EXPECT_EQ(d.edges_removed[0].from, (PortPath{{0, 1}, {2, 0}}));
+  EXPECT_EQ(d.edges_removed[0].out, 0);
+}
+
+TEST(MapDiffTest, DetectsNewNode) {
+  const TopologyMap before = sample_map();
+  TopologyMap after = sample_map();
+  const NodeId c = after.intern(PortPath{{1, 0}});
+  after.add_edge(after.root(), 1, c, 0);
+  const MapDiff d = diff_maps(before, after);
+  ASSERT_EQ(d.nodes_added.size(), 1u);
+  EXPECT_EQ(d.nodes_added[0], (PortPath{{1, 0}}));
+  EXPECT_EQ(d.edges_added.size(), 1u);
+  EXPECT_TRUE(d.nodes_removed.empty());
+}
+
+TEST(MapDiffTest, RealDegradationShowsLostConduits) {
+  // Map a healthy grid and a degraded one; the diff must contain removed
+  // edges (and possibly renames), never be empty.
+  const PortGraph healthy = degraded_grid(4, 4, 0.0, 3);
+  const PortGraph damaged = degraded_grid(4, 4, 0.2, 3);
+  ASSERT_LT(damaged.num_wires(), healthy.num_wires());
+  const GtdResult before = run_gtd(healthy, 0);
+  const GtdResult after = run_gtd(damaged, 0);
+  ASSERT_EQ(before.status, RunStatus::kTerminated);
+  ASSERT_EQ(after.status, RunStatus::kTerminated);
+  const MapDiff d = diff_maps(before.map, after.map);
+  EXPECT_FALSE(d.empty());
+  EXPECT_GE(d.edges_removed.size(),
+            healthy.num_wires() - damaged.num_wires());
+}
+
+}  // namespace
+}  // namespace dtop

@@ -1,0 +1,93 @@
+// Route planning on recovered maps (core/routes) — the paper's motivating
+// application. Routes computed from a protocol-recovered map must be valid
+// and shortest on the *true* network.
+#include <gtest/gtest.h>
+
+#include "core/gtd.hpp"
+#include "core/routes.hpp"
+#include "graph/analysis.hpp"
+#include "graph/families.hpp"
+#include "graph/random_graph.hpp"
+
+namespace dtop {
+namespace {
+
+// Maps a recovered-map node id to the true node it names.
+NodeId true_node(const PortGraph& truth, NodeId root, const TopologyMap& map,
+                 NodeId v) {
+  return walk_path(truth, root, map.path_of(v));
+}
+
+TEST(Routes, ShortestAndValidOnDeBruijn) {
+  const PortGraph g = de_bruijn(4);
+  const GtdResult r = run_gtd(g, 0);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  const RoutePlanner planner(r.map);
+
+  for (NodeId from = 0; from < planner.node_count(); ++from) {
+    const NodeId tf = true_node(g, 0, r.map, from);
+    const auto true_dist = bfs_distances(g, tf);
+    for (NodeId to = 0; to < planner.node_count(); ++to) {
+      const NodeId tt = true_node(g, 0, r.map, to);
+      // Distances from the map equal true BFS distances.
+      EXPECT_EQ(planner.distance(from, to), true_dist[tt]);
+      if (from == to) continue;
+      // The source route, replayed on the *true* network, arrives.
+      const PortPath route = planner.route(from, to);
+      EXPECT_EQ(route.size(), true_dist[tt]);
+      EXPECT_EQ(walk_path(g, tf, route), tt);
+    }
+  }
+}
+
+TEST(Routes, NextHopConsistentWithRoutes) {
+  const GtdResult r = run_gtd(tree_loop_random(3, 4), 0);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  const RoutePlanner planner(r.map);
+  for (NodeId from = 0; from < planner.node_count(); ++from) {
+    for (NodeId to = 0; to < planner.node_count(); ++to) {
+      if (from == to) {
+        EXPECT_EQ(planner.next_hop(from, to), kNoPort);
+        EXPECT_TRUE(planner.route(from, to).empty());
+        continue;
+      }
+      const PortPath route = planner.route(from, to);
+      ASSERT_FALSE(route.empty());
+      EXPECT_EQ(route[0].out, planner.next_hop(from, to));
+    }
+  }
+}
+
+TEST(Routes, WorstRouteEqualsDiameter) {
+  const PortGraph g = directed_torus(3, 4);
+  const GtdResult r = run_gtd(g, 0);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  const RoutePlanner planner(r.map);
+  EXPECT_EQ(planner.worst_route_length(), diameter(g));
+  EXPECT_GT(planner.average_route_length(), 0.0);
+  EXPECT_LE(planner.average_route_length(),
+            static_cast<double>(diameter(g)));
+}
+
+TEST(Routes, DeterministicTieBreaks) {
+  const PortGraph g = random_strongly_connected(
+      {.nodes = 20, .delta = 4, .avg_out_degree = 3.0, .seed = 6});
+  const GtdResult r = run_gtd(g, 0);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  const RoutePlanner a(r.map);
+  const RoutePlanner b(r.map);
+  for (NodeId from = 0; from < a.node_count(); ++from)
+    for (NodeId to = 0; to < a.node_count(); ++to)
+      EXPECT_EQ(a.next_hop(from, to), b.next_hop(from, to));
+}
+
+TEST(Routes, RejectsBadNodes) {
+  const GtdResult r = run_gtd(directed_ring(3), 0);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  const RoutePlanner planner(r.map);
+  EXPECT_THROW(planner.distance(0, 99), Error);
+  EXPECT_THROW(planner.route(99, 0), Error);
+}
+
+}  // namespace
+}  // namespace dtop

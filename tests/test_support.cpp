@@ -1,0 +1,210 @@
+// Unit tests for src/support: fixed containers, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/fixed_vector.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace dtop {
+namespace {
+
+TEST(FixedVector, PushPopIndex) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(FixedVector, OverflowThrows) {
+  FixedVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_TRUE(v.full());
+  EXPECT_THROW(v.push_back(3), Error);
+}
+
+TEST(FixedVector, EraseAtPreservesOrder) {
+  FixedVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  v.erase_at(1);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[3], 4);
+}
+
+TEST(FixedVector, IndexOutOfRangeThrows) {
+  FixedVector<int, 4> v;
+  v.push_back(7);
+  EXPECT_THROW(v[1], Error);
+  EXPECT_THROW(v.erase_at(2), Error);
+}
+
+TEST(FixedQueue, FifoOrder) {
+  FixedQueue<int, 4> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.front(), 1);
+  q.pop();
+  q.push(4);
+  EXPECT_EQ(q.front(), 2);
+  EXPECT_EQ(q.at(2), 4);
+  q.pop();
+  q.pop();
+  EXPECT_EQ(q.front(), 4);
+}
+
+TEST(FixedQueue, WrapsAround) {
+  FixedQueue<int, 3> q;
+  for (int round = 0; round < 10; ++round) {
+    q.push(round);
+    EXPECT_EQ(q.front(), round);
+    q.pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, OverflowUnderflowThrow) {
+  FixedQueue<int, 2> q;
+  EXPECT_THROW(q.pop(), Error);
+  q.push(1);
+  q.push(2);
+  EXPECT_THROW(q.push(3), Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(13);
+    EXPECT_LT(v, 13u);
+  }
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 4 - n / 20);
+    EXPECT_LT(c, n / 4 + n / 20);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(3);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::vector<int> sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Accumulator, Moments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Stats, LinearFitExact) {
+  std::vector<double> x{1, 2, 3, 4}, y{5, 7, 9, 11};  // y = 2x + 3
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, ProportionalFit) {
+  std::vector<double> x{1, 2, 3}, y{3.1, 5.9, 9.0};
+  const LinearFit f = fit_proportional(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 0.05);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Stats, PowerLawFit) {
+  std::vector<double> x{2, 4, 8, 16}, y;
+  for (double v : x) y.push_back(5.0 * v * v);  // y = 5 x^2
+  const LinearFit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-6);
+}
+
+TEST(Stats, Log2Factorial) {
+  EXPECT_DOUBLE_EQ(log2_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_factorial(1), 0.0);
+  EXPECT_NEAR(log2_factorial(5), std::log2(120.0), 1e-9);
+  EXPECT_NEAR(log2_factorial(20),
+              std::log2(2432902008176640000.0), 1e-6);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42});
+  t.row().cell("b").cell(3.14159, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    DTOP_CHECK(1 == 2, "context message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dtop

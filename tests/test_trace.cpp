@@ -1,0 +1,75 @@
+// Wire-level trace recorder (proto/trace).
+#include <gtest/gtest.h>
+
+#include "core/gtd.hpp"
+#include "graph/families.hpp"
+#include "proto/trace.hpp"
+
+namespace dtop {
+namespace {
+
+TEST(WireTrace, CapturesEarlyProtocolActivity) {
+  const PortGraph g = directed_ring(4);
+  Transcript transcript;
+  GtdMachine::Config cfg;
+  cfg.transcript = &transcript;
+  GtdEngine engine(g, 0, cfg);
+  engine.schedule(0);
+  WireTrace trace(1, 6);
+  trace.attach(engine);
+  for (int i = 0; i < 10; ++i) engine.step();
+
+  ASSERT_FALSE(trace.entries().empty());
+  // Tick 1 carries the DFS token on wire 0->1.
+  EXPECT_EQ(trace.entries()[0].tick, 1);
+  EXPECT_EQ(trace.entries()[0].wire.from, 0u);
+  EXPECT_EQ(trace.entries()[0].wire.to, 1u);
+  EXPECT_NE(trace.entries()[0].text.find("DFS"), std::string::npos);
+  // Tick 2 carries the IG head out of node 1.
+  bool saw_ig_head = false;
+  for (const auto& e : trace.entries())
+    if (e.tick == 2 && e.text.find("IGH") != std::string::npos)
+      saw_ig_head = true;
+  EXPECT_TRUE(saw_ig_head);
+  // The window is respected.
+  for (const auto& e : trace.entries()) {
+    EXPECT_GE(e.tick, 1);
+    EXPECT_LE(e.tick, 6);
+  }
+}
+
+TEST(WireTrace, TruncatesAtCapacity) {
+  const PortGraph g = de_bruijn(3);
+  Transcript transcript;
+  GtdMachine::Config cfg;
+  cfg.transcript = &transcript;
+  GtdEngine engine(g, 0, cfg);
+  engine.schedule(0);
+  WireTrace trace(1, 1 << 20, /*max_entries=*/16);
+  trace.attach(engine);
+  for (int i = 0; i < 100; ++i) engine.step();
+  EXPECT_TRUE(trace.truncated());
+  EXPECT_EQ(trace.entries().size(), 16u);
+}
+
+TEST(WireTrace, PrintIsTickGrouped) {
+  const PortGraph g = directed_ring(3);
+  Transcript transcript;
+  GtdMachine::Config cfg;
+  cfg.transcript = &transcript;
+  GtdEngine engine(g, 0, cfg);
+  engine.schedule(0);
+  WireTrace trace(1, 4);
+  trace.attach(engine);
+  for (int i = 0; i < 6; ++i) engine.step();
+  const std::string s = trace.to_string();
+  EXPECT_NE(s.find("--- tick 1 ---"), std::string::npos);
+  EXPECT_NE(s.find("DFS"), std::string::npos);
+}
+
+TEST(WireTrace, RejectsBadWindow) {
+  EXPECT_THROW(WireTrace(5, 2), Error);
+}
+
+}  // namespace
+}  // namespace dtop
