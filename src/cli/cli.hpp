@@ -1,0 +1,98 @@
+// dtopctl — one command-line entry point for every workload in the repo.
+//
+// Subcommands:
+//   run     generate (or load) a network, run the GTD protocol, print the
+//           recovered topology map; optionally verify against ground truth.
+//   gen     generate a graph family to disk (text format or Graphviz DOT).
+//   verify  check a recovered map file against a ground-truth graph file.
+//   bench   quick model-time table (ticks, N*D, messages) over families.
+//
+// The subcommand implementations take explicit option structs and write to
+// caller-supplied streams so the test suite can drive them in-process; the
+// dtopctl binary is a thin wrapper around cli_main().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "support/error.hpp"
+
+namespace dtop::cli {
+
+// Thrown by the parsers on malformed command lines; cli_main converts it to
+// a usage message and exit code 2.
+class UsageError : public Error {
+ public:
+  explicit UsageError(std::string what) : Error(std::move(what)) {}
+};
+
+// How a subcommand obtains its network: a named family instance (families.cpp
+// dispatcher) or a dtop-graph v1 file ("-" = stdin).
+struct GraphSpec {
+  std::string family;       // one of family_names(); empty when loading
+  NodeId nodes = 16;        // size hint passed to make_family
+  std::uint64_t seed = 1;
+  std::string graph_file;   // non-empty: load instead of generating
+
+  bool from_file() const { return !graph_file.empty(); }
+};
+
+struct RunOptions {
+  GraphSpec spec;
+  NodeId root = 0;
+  int threads = 1;
+  std::int64_t max_ticks = 0;  // 0 = automatic budget
+  bool verify = false;         // check the map against ground truth
+  bool quiet = false;          // suppress the per-edge map listing
+  std::string map_out;         // write the recovered map here ("-" = stdout)
+};
+
+struct GenOptions {
+  GraphSpec spec;
+  std::string out;  // empty or "-" = stdout
+  bool dot = false; // emit Graphviz DOT instead of dtop-graph text
+};
+
+struct VerifyOptions {
+  std::string graph_file;  // ground truth (dtop-graph v1)
+  std::string map_file;    // recovered map (dtop-map v1)
+  NodeId root = 0;
+};
+
+struct BenchOptions {
+  std::vector<std::string> families = {"torus", "debruijn"};
+  std::vector<NodeId> sizes = {16, 32};
+  std::uint64_t seed = 1;
+};
+
+// Parsers, exposed for the test suite. `args` excludes the subcommand name.
+// All throw UsageError on unknown flags, missing values, or bad numbers.
+RunOptions parse_run_args(const std::vector<std::string>& args);
+GenOptions parse_gen_args(const std::vector<std::string>& args);
+VerifyOptions parse_verify_args(const std::vector<std::string>& args);
+BenchOptions parse_bench_args(const std::vector<std::string>& args);
+
+// Materializes a GraphSpec (generation or file load + validate()).
+PortGraph load_or_make_graph(const GraphSpec& spec, std::string* label = nullptr);
+
+// Subcommand drivers. Return the process exit code (0 = success).
+int run_command(const RunOptions& opt, std::ostream& out, std::ostream& err);
+int gen_command(const GenOptions& opt, std::ostream& out, std::ostream& err);
+int verify_command(const VerifyOptions& opt, std::ostream& out,
+                   std::ostream& err);
+int bench_command(const BenchOptions& opt, std::ostream& out,
+                  std::ostream& err);
+
+// Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit
+// code 2 (usage printed to `err`) and dtop::Error to exit code 1.
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+int cli_main(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err);
+
+std::string usage_text();
+
+}  // namespace dtop::cli

@@ -1,0 +1,9 @@
+// dtopctl binary entry point; all logic lives in cli.cpp so the test suite
+// can drive it in-process.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return dtop::cli::cli_main(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,247 @@
+// Tests for the dtopctl CLI: argument parsing, each subcommand, and an
+// end-to-end run+verify round trip driven through cli_main() in-process.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "graph/families.hpp"
+#include "graph/graph_io.hpp"
+
+namespace dtop::cli {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "dtop_cli_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ------------------------------- parsing ---------------------------------
+
+TEST(CliParse, RunFullFlagSet) {
+  const RunOptions opt = parse_run_args(
+      {"--family", "torus", "--nodes", "9", "--seed", "7", "--root", "3",
+       "--threads", "2", "--max-ticks", "5000", "--verify", "--quiet",
+       "--map-out", "map.txt"});
+  EXPECT_EQ(opt.spec.family, "torus");
+  EXPECT_EQ(opt.spec.nodes, 9u);
+  EXPECT_EQ(opt.spec.seed, 7u);
+  EXPECT_EQ(opt.root, 3u);
+  EXPECT_EQ(opt.threads, 2);
+  EXPECT_EQ(opt.max_ticks, 5000);
+  EXPECT_TRUE(opt.verify);
+  EXPECT_TRUE(opt.quiet);
+  EXPECT_EQ(opt.map_out, "map.txt");
+}
+
+TEST(CliParse, RunDefaults) {
+  const RunOptions opt = parse_run_args({"--family", "debruijn"});
+  EXPECT_EQ(opt.root, 0u);
+  EXPECT_EQ(opt.threads, 1);
+  EXPECT_EQ(opt.max_ticks, 0);
+  EXPECT_FALSE(opt.verify);
+  EXPECT_FALSE(opt.quiet);
+}
+
+TEST(CliParse, RejectsUnknownFlag) {
+  EXPECT_THROW(parse_run_args({"--family", "torus", "--bogus"}), UsageError);
+}
+
+TEST(CliParse, RejectsMissingValue) {
+  EXPECT_THROW(parse_run_args({"--family"}), UsageError);
+}
+
+TEST(CliParse, RejectsUnknownFamily) {
+  EXPECT_THROW(parse_run_args({"--family", "hypercube"}), UsageError);
+}
+
+TEST(CliParse, RejectsNonNumericNodes) {
+  EXPECT_THROW(parse_run_args({"--family", "torus", "--nodes", "many"}),
+               UsageError);
+}
+
+TEST(CliParse, RejectsOutOfRangeValues) {
+  // 2^32 would silently truncate to 0 without the range check.
+  EXPECT_THROW(parse_run_args({"--family", "torus", "--root", "4294967296"}),
+               UsageError);
+  EXPECT_THROW(parse_run_args({"--family", "torus", "--nodes", "4294967298"}),
+               UsageError);
+  EXPECT_THROW(parse_run_args({"--family", "torus", "--threads", "4294967297"}),
+               UsageError);
+}
+
+TEST(CliParse, RejectsFamilyAndGraphTogether) {
+  EXPECT_THROW(
+      parse_run_args({"--family", "torus", "--graph", "g.txt"}), UsageError);
+}
+
+TEST(CliParse, RequiresFamilyOrGraph) {
+  EXPECT_THROW(parse_run_args({"--nodes", "9"}), UsageError);
+}
+
+TEST(CliParse, GenRejectsGraphInput) {
+  EXPECT_THROW(parse_gen_args({"--graph", "g.txt"}), UsageError);
+}
+
+TEST(CliParse, VerifyRequiresBothFiles) {
+  EXPECT_THROW(parse_verify_args({"--graph", "g.txt"}), UsageError);
+  EXPECT_THROW(parse_verify_args({"--map", "m.txt"}), UsageError);
+  const VerifyOptions opt =
+      parse_verify_args({"--graph", "g.txt", "--map", "m.txt", "--root", "1"});
+  EXPECT_EQ(opt.graph_file, "g.txt");
+  EXPECT_EQ(opt.map_file, "m.txt");
+  EXPECT_EQ(opt.root, 1u);
+}
+
+TEST(CliParse, BenchLists) {
+  const BenchOptions opt = parse_bench_args(
+      {"--families", "torus,debruijn", "--sizes", "9,16", "--seed", "3"});
+  EXPECT_EQ(opt.families, (std::vector<std::string>{"torus", "debruijn"}));
+  EXPECT_EQ(opt.sizes, (std::vector<NodeId>{9, 16}));
+  EXPECT_EQ(opt.seed, 3u);
+}
+
+TEST(CliParse, BenchRejectsUnknownFamily) {
+  EXPECT_THROW(parse_bench_args({"--families", "torus,nope"}), UsageError);
+}
+
+// ----------------------------- subcommands -------------------------------
+
+TEST(CliMain, HelpPrintsUsage) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("dtopctl run"), std::string::npos);
+}
+
+TEST(CliMain, NoArgsIsUsageErrorOnStderr) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({}, out, err), 2);
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_NE(err.str().find("Usage:"), std::string::npos);
+}
+
+TEST(CliMain, UnknownSubcommandExitsTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"frobnicate"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown subcommand"), std::string::npos);
+}
+
+TEST(CliMain, RunVerifyTorusEndToEnd) {
+  // The ISSUE acceptance line: run a 9-node torus and verify the map.
+  std::ostringstream out, err;
+  const int rc = cli_main(
+      {"run", "--family", "torus", "--nodes", "9", "--verify"}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("EXACT MATCH"), std::string::npos) << out.str();
+  // The recovered map listing is printed (9 nodes -> 18 port-labelled edges).
+  EXPECT_NE(out.str().find("--[out "), std::string::npos);
+}
+
+TEST(CliMain, GenWritesRoundTrippableGraph) {
+  const std::string path = temp_path("gen_graph.txt");
+  std::ostringstream out, err;
+  const int rc = cli_main(
+      {"gen", "--family", "debruijn", "--nodes", "8", "--out", path}, out,
+      err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const PortGraph g = graph_from_string(read_file(path));
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_wires(), 16u);
+  EXPECT_EQ(graph_to_string(g), graph_to_string(de_bruijn(3)));
+}
+
+TEST(CliMain, GenDotOutput) {
+  std::ostringstream out, err;
+  const int rc = cli_main(
+      {"gen", "--family", "dering", "--nodes", "4", "--dot"}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("digraph"), std::string::npos);
+}
+
+TEST(CliMain, VerifySubcommandRoundTrip) {
+  const std::string graph_path = temp_path("verify_graph.txt");
+  const std::string map_path = temp_path("verify_map.txt");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"gen", "--family", "torus", "--nodes", "9", "--out",
+                      graph_path},
+                     out, err),
+            0)
+      << err.str();
+  ASSERT_EQ(cli_main({"run", "--graph", graph_path, "--quiet", "--map-out",
+                      map_path},
+                     out, err),
+            0)
+      << err.str();
+
+  std::ostringstream vout, verr;
+  EXPECT_EQ(cli_main({"verify", "--graph", graph_path, "--map", map_path},
+                     vout, verr),
+            0)
+      << verr.str();
+  EXPECT_NE(vout.str().find("OK"), std::string::npos);
+}
+
+TEST(CliMain, VerifyDetectsMismatch) {
+  // Map recovered from a de Bruijn graph must not verify against a ring.
+  const std::string graph_path = temp_path("mismatch_graph.txt");
+  const std::string wrong_path = temp_path("mismatch_wrong.txt");
+  const std::string map_path = temp_path("mismatch_map.txt");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"gen", "--family", "debruijn", "--nodes", "8", "--out",
+                      graph_path},
+                     out, err),
+            0);
+  ASSERT_EQ(cli_main({"gen", "--family", "biring", "--nodes", "8", "--out",
+                      wrong_path},
+                     out, err),
+            0);
+  ASSERT_EQ(cli_main({"run", "--graph", graph_path, "--quiet", "--map-out",
+                      map_path},
+                     out, err),
+            0);
+
+  std::ostringstream vout, verr;
+  EXPECT_EQ(cli_main({"verify", "--graph", wrong_path, "--map", map_path},
+                     vout, verr),
+            1);
+  EXPECT_NE(vout.str().find("MISMATCH"), std::string::npos);
+}
+
+TEST(CliMain, BenchPrintsModelTimeTable) {
+  std::ostringstream out, err;
+  const int rc = cli_main(
+      {"bench", "--families", "torus", "--sizes", "9"}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("ticks/(N*D)"), std::string::npos);
+  EXPECT_NE(out.str().find("torus"), std::string::npos);
+}
+
+TEST(CliMain, RunRootOutOfRangeFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"run", "--family", "torus", "--nodes", "9", "--root",
+                      "99"},
+                     out, err),
+            2);
+  EXPECT_NE(err.str().find("out of range"), std::string::npos);
+}
+
+TEST(CliMain, RunMissingGraphFileFailsCleanly) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"run", "--graph", temp_path("does_not_exist.txt")},
+                     out, err),
+            1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtop::cli
