@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <thread>
 
 #include "core/verify.hpp"
 #include "support/error.hpp"
@@ -21,6 +22,33 @@ ProtocolRun run_verified(const std::string& label, const PortGraph& g,
   DTOP_CHECK(v.ok, "benchmark run produced a wrong map (" + label +
                        "): " + v.detail);
   return run;
+}
+
+std::vector<runner::JobResult> run_family_sweep(
+    const std::vector<std::string>& families, const std::vector<NodeId>& sizes,
+    std::uint64_t seed) {
+  runner::CampaignSpec spec;
+  spec.families = families;
+  spec.sizes = sizes;
+  spec.seeds = {seed};
+
+  runner::RunnerOptions opt;
+  const unsigned hw = std::thread::hardware_concurrency();
+  opt.threads = static_cast<int>(std::max(1u, hw));
+
+  const runner::CampaignResult result = runner::run_campaign(spec, opt);
+
+  std::vector<runner::JobResult> rows;
+  std::string last_family;
+  NodeId last_n = 0;
+  for (const runner::JobResult& r : result.jobs) {
+    DTOP_CHECK(r.ok(), "benchmark job failed (" + r.label + "): " + r.detail);
+    if (r.spec.family == last_family && r.n == last_n) continue;
+    last_family = r.spec.family;
+    last_n = r.n;
+    rows.push_back(r);
+  }
+  return rows;
 }
 
 std::vector<NodeId> default_sizes() { return {16, 32, 64, 96, 128}; }

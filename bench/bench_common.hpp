@@ -13,6 +13,7 @@
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
 #include "proto/duration_observer.hpp"
+#include "runner/runner.hpp"
 #include "support/table.hpp"
 
 namespace dtop::bench {
@@ -30,6 +31,17 @@ struct ProtocolRun {
 
 ProtocolRun run_verified(const std::string& label, const PortGraph& g,
                          NodeId root, const GtdOptions& opt = {});
+
+// Runs a (families x sizes) sweep through the campaign runner (src/runner):
+// one single-threaded protocol job per point, executed concurrently across
+// the host's cores. Jobs are deterministic functions of their spec, so the
+// model-time numbers are identical to a hand-rolled sequential loop. Aborts
+// loudly unless every job verified exact. Consecutive duplicate (family, N)
+// rows — size hints snapping to the same instance in pow2 families — are
+// dropped, matching the tables' historical skip logic.
+std::vector<runner::JobResult> run_family_sweep(
+    const std::vector<std::string>& families, const std::vector<NodeId>& sizes,
+    std::uint64_t seed = 1);
 
 // Standard size sweep used by several experiments.
 std::vector<NodeId> default_sizes();

@@ -36,33 +36,31 @@ void print_table() {
       "E7: finite-state GTD vs unique-ID baselines (model ticks to a "
       "complete map at the root)");
 
-  for (const std::string& fam :
-       {std::string("dering"), std::string("biring"), std::string("debruijn"),
-        std::string("treeloop"), std::string("torus"), std::string("random3")}) {
-    for (NodeId size : {32u, 64u, 128u}) {
-      const FamilyInstance fi = make_family(fam, size, 1);
-      static std::map<std::string, NodeId> last_n;
-      if (last_n[fam] == fi.graph.num_nodes()) continue;
-      last_n[fam] = fi.graph.num_nodes();
+  // The GTD runs go through the campaign runner (concurrent, deterministic);
+  // the unique-ID baselines are cheap and run inline per retained row, on a
+  // graph regenerated from the same (family, size hint, seed) triple.
+  const std::vector<std::string> families = {"dering", "biring", "debruijn",
+                                             "treeloop", "torus", "random3"};
+  for (const runner::JobResult& run :
+       run_family_sweep(families, {32, 64, 128})) {
+    const std::string& fam = run.spec.family;
+    const FamilyInstance fi = make_family(fam, run.spec.nodes, run.spec.seed);
+    const BaselineResult ls = run_link_state(fi.graph, 0);
+    const BaselineResult ideal = run_ideal_gather(fi.graph, 0);
+    check_baseline_exact(fi.graph, ls, fam + "/link-state");
+    check_baseline_exact(fi.graph, ideal, fam + "/ideal");
 
-      const ProtocolRun run = run_verified(fam, fi.graph, 0);
-      const BaselineResult ls = run_link_state(fi.graph, 0);
-      const BaselineResult ideal = run_ideal_gather(fi.graph, 0);
-      check_baseline_exact(fi.graph, ls, fam + "/link-state");
-      check_baseline_exact(fi.graph, ideal, fam + "/ideal");
-
-      const double gtd = static_cast<double>(run.result.stats.ticks);
-      table.row()
-          .cell(fam)
-          .cell(static_cast<std::uint64_t>(run.n))
-          .cell(static_cast<std::uint64_t>(run.d))
-          .cell(static_cast<std::uint64_t>(run.e))
-          .cell(static_cast<std::uint64_t>(run.result.stats.ticks))
-          .cell(static_cast<std::uint64_t>(ls.completion_tick))
-          .cell(static_cast<std::uint64_t>(ideal.completion_tick))
-          .cell(gtd / static_cast<double>(ls.completion_tick), 1)
-          .cell(gtd / static_cast<double>(ideal.completion_tick), 1);
-    }
+    const double gtd = static_cast<double>(run.ticks);
+    table.row()
+        .cell(fam)
+        .cell(static_cast<std::uint64_t>(run.n))
+        .cell(static_cast<std::uint64_t>(run.d))
+        .cell(static_cast<std::uint64_t>(run.e))
+        .cell(static_cast<std::uint64_t>(run.ticks))
+        .cell(static_cast<std::uint64_t>(ls.completion_tick))
+        .cell(static_cast<std::uint64_t>(ideal.completion_tick))
+        .cell(gtd / static_cast<double>(ls.completion_tick), 1)
+        .cell(gtd / static_cast<double>(ideal.completion_tick), 1);
   }
   table.print(std::cout);
   std::cout << "\nThe GTD/ideal factor grows ~linearly in N (O(N*D) vs "

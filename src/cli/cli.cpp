@@ -1,12 +1,10 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
-#include <charconv>
-#include <fstream>
-#include <limits>
 #include <iostream>
-#include <sstream>
 
+#include "cli/cli_io.hpp"
+#include "cli/flags.hpp"
 #include "core/gtd.hpp"
 #include "core/map_io.hpp"
 #include "core/verify.hpp"
@@ -17,69 +15,6 @@
 
 namespace dtop::cli {
 namespace {
-
-std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
-  std::uint64_t v = 0;
-  const char* begin = value.data();
-  const char* end = begin + value.size();
-  auto [ptr, ec] = std::from_chars(begin, end, v);
-  if (ec != std::errc() || ptr != end) {
-    throw UsageError(flag + " expects a non-negative integer, got '" + value +
-                     "'");
-  }
-  return v;
-}
-
-// Range-checked narrowing; a silently truncated --root or --nodes would run
-// the protocol on the wrong workload instead of rejecting the flag.
-template <typename T>
-T parse_int_as(const std::string& flag, const std::string& value) {
-  const std::uint64_t v = parse_u64(flag, value);
-  if (v > static_cast<std::uint64_t>(std::numeric_limits<T>::max())) {
-    throw UsageError(flag + " value " + value + " is out of range");
-  }
-  return static_cast<T>(v);
-}
-
-std::vector<std::string> split_list(const std::string& value) {
-  std::vector<std::string> items;
-  std::string item;
-  std::istringstream is(value);
-  while (std::getline(is, item, ',')) {
-    if (!item.empty()) items.push_back(item);
-  }
-  return items;
-}
-
-// Walks `args` as (--flag value | --switch) pairs; `take(flag)` consumes a
-// value, `have(flag)` consumes a switch.
-class FlagWalker {
- public:
-  explicit FlagWalker(const std::vector<std::string>& args) : args_(args) {}
-
-  bool next() {
-    if (pos_ >= args_.size()) return false;
-    flag_ = args_[pos_++];
-    if (flag_.rfind("--", 0) != 0) {
-      throw UsageError("expected a --flag, got '" + flag_ + "'");
-    }
-    return true;
-  }
-
-  const std::string& flag() const { return flag_; }
-
-  std::string value() {
-    if (pos_ >= args_.size()) {
-      throw UsageError(flag_ + " expects a value");
-    }
-    return args_[pos_++];
-  }
-
- private:
-  const std::vector<std::string>& args_;
-  std::size_t pos_ = 0;
-  std::string flag_;
-};
 
 bool parse_spec_flag(FlagWalker& w, GraphSpec& spec) {
   const std::string& f = w.flag();
@@ -117,27 +52,6 @@ void check_spec(const GraphSpec& spec) {
   if (!spec.from_file() && spec.family.empty()) {
     throw UsageError("need --family <name> or --graph <file>");
   }
-}
-
-// Opens `path` for reading ("-" = stdin) and applies `fn` to the stream.
-template <typename Fn>
-auto with_input(const std::string& path, Fn&& fn) {
-  if (path == "-") return fn(std::cin);
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open '" + path + "' for reading");
-  return fn(in);
-}
-
-// Opens `path` for writing ("" or "-" = `fallback`) and applies `fn`.
-template <typename Fn>
-void with_output(const std::string& path, std::ostream& fallback, Fn&& fn) {
-  if (path.empty() || path == "-") {
-    fn(fallback);
-    return;
-  }
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
-  fn(out);
 }
 
 void print_map_edges(const TopologyMap& map, std::ostream& out) {
@@ -398,10 +312,19 @@ std::string usage_text() {
       "  dtopctl gen    --family NAME --nodes N [--seed S] [--out FILE] [--dot]\n"
       "  dtopctl verify --graph FILE --map FILE [--root R]\n"
       "  dtopctl bench  [--families a,b,...] [--sizes n1,n2,...] [--seed S]\n"
+      "  dtopctl sweep  [--spec FILE] [--families a,b,...] [--sizes LIST]\n"
+      "                 [--seeds LIST] [--configs ratio1..ratio4]\n"
+      "                 [--scenarios none,budget@T,kill@T,unmark@T,dfs@T]\n"
+      "                 [--root R] [--max-ticks T] [--threads T]\n"
+      "                 [--format table|json|csv] [--out FILE] [--timing]\n"
+      "                 [--quiet]\n"
       "  dtopctl help\n"
       "\n"
       "Families: " + families + "\n"
-      "File arguments accept '-' for stdin/stdout.\n";
+      "Integer LISTs accept commas and ranges: 8,16 or 8..64:8.\n"
+      "File arguments accept '-' for stdin/stdout.\n"
+      "Exit codes: 0 success, 1 runtime/verify failure, 2 usage error.\n"
+      "Full reference: docs/dtopctl.md\n";
 }
 
 int cli_main(const std::vector<std::string>& args, std::ostream& out,
@@ -422,6 +345,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "verify")
       return verify_command(parse_verify_args(rest), out, err);
     if (cmd == "bench") return bench_command(parse_bench_args(rest), out, err);
+    if (cmd == "sweep") return sweep_command(parse_sweep_args(rest), out, err);
     throw UsageError("unknown subcommand '" + cmd + "'");
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n\n" << usage_text();

@@ -6,10 +6,17 @@
 //   gen     generate a graph family to disk (text format or Graphviz DOT).
 //   verify  check a recovered map file against a ground-truth graph file.
 //   bench   quick model-time table (ticks, N*D, messages) over families.
+//   sweep   expand a declarative campaign spec (families x sizes x seeds x
+//           configs x scenarios) and execute the jobs concurrently through
+//           src/runner, emitting a table, JSON, or CSV.
 //
 // The subcommand implementations take explicit option structs and write to
 // caller-supplied streams so the test suite can drive them in-process; the
 // dtopctl binary is a thin wrapper around cli_main().
+//
+// Exit-code contract (documented in docs/dtopctl.md): 0 success, 1 runtime
+// failure (protocol error, verify mismatch, failed campaign jobs, I/O), 2
+// usage error (unknown subcommand or flag; usage goes to stderr).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "graph/port_graph.hpp"
+#include "runner/campaign.hpp"
 #include "support/error.hpp"
 
 namespace dtop::cli {
@@ -68,12 +76,23 @@ struct BenchOptions {
   std::uint64_t seed = 1;
 };
 
+struct SweepOptions {
+  runner::CampaignSpec spec;
+  int threads = 1;             // concurrent campaign jobs
+  std::string spec_file;       // --spec FILE ("-" = stdin); flags override it
+  std::string format = "table";  // table | json | csv
+  std::string out;             // empty or "-" = stdout
+  bool timing = false;         // include wall-clock fields in json/csv
+  bool quiet = false;          // suppress the per-job progress stream (err)
+};
+
 // Parsers, exposed for the test suite. `args` excludes the subcommand name.
 // All throw UsageError on unknown flags, missing values, or bad numbers.
 RunOptions parse_run_args(const std::vector<std::string>& args);
 GenOptions parse_gen_args(const std::vector<std::string>& args);
 VerifyOptions parse_verify_args(const std::vector<std::string>& args);
 BenchOptions parse_bench_args(const std::vector<std::string>& args);
+SweepOptions parse_sweep_args(const std::vector<std::string>& args);
 
 // Materializes a GraphSpec (generation or file load + validate()).
 PortGraph load_or_make_graph(const GraphSpec& spec, std::string* label = nullptr);
@@ -84,6 +103,8 @@ int gen_command(const GenOptions& opt, std::ostream& out, std::ostream& err);
 int verify_command(const VerifyOptions& opt, std::ostream& out,
                    std::ostream& err);
 int bench_command(const BenchOptions& opt, std::ostream& out,
+                  std::ostream& err);
+int sweep_command(const SweepOptions& opt, std::ostream& out,
                   std::ostream& err);
 
 // Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit

@@ -1,0 +1,33 @@
+// Stream-opening helpers shared by the dtopctl subcommands: every file
+// argument accepts "-" for stdin/stdout so the commands compose in pipes.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+
+#include "support/error.hpp"
+
+namespace dtop::cli {
+
+// Opens `path` for reading ("-" = stdin) and applies `fn` to the stream.
+template <typename Fn>
+auto with_input(const std::string& path, Fn&& fn) {
+  if (path == "-") return fn(std::cin);
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  return fn(in);
+}
+
+// Opens `path` for writing ("" or "-" = `fallback`) and applies `fn`.
+template <typename Fn>
+void with_output(const std::string& path, std::ostream& fallback, Fn&& fn) {
+  if (path.empty() || path == "-") {
+    fn(fallback);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  fn(out);
+}
+
+}  // namespace dtop::cli

@@ -1,0 +1,265 @@
+#include "runner/campaign.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <sstream>
+
+#include "graph/families.hpp"
+
+namespace dtop::runner {
+namespace {
+
+// Per-item cap on range expansion; a typo like "1..1000000000" should fail
+// loudly instead of allocating a billion-job matrix.
+constexpr std::uint64_t kMaxRangeItems = 65536;
+
+std::uint64_t parse_u64_token(const std::string& flag,
+                              const std::string& token) {
+  std::uint64_t v = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end) {
+    throw SpecError(flag + " expects a non-negative integer, got '" + token +
+                    "'");
+  }
+  return v;
+}
+
+// Splits on commas and whitespace, dropping empty tokens.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : text) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!token.empty()) tokens.push_back(std::move(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+Tick parse_at_suffix(const std::string& text, std::size_t at_pos) {
+  const std::string num = text.substr(at_pos + 1);
+  const std::uint64_t v = parse_u64_token("scenario '" + text + "'", num);
+  if (v > static_cast<std::uint64_t>(std::numeric_limits<Tick>::max())) {
+    throw SpecError("scenario tick out of range in '" + text + "'");
+  }
+  return static_cast<Tick>(v);
+}
+
+}  // namespace
+
+EngineConfig make_engine_config(const std::string& name) {
+  // ratioK: cleanup tokens (delay 0, speed 3... in model terms: a construct
+  // with residence delay d moves one hop per d+1 ticks) run K times faster
+  // than snakes, i.e. snake/loop delay K-1.
+  if (name.size() == 6 && name.rfind("ratio", 0) == 0 && name[5] >= '1' &&
+      name[5] <= '4') {
+    EngineConfig cfg;
+    cfg.label = name;
+    const int delay = name[5] - '1';
+    cfg.protocol.snake_delay = delay;
+    cfg.protocol.loop_delay = delay;
+    return cfg;
+  }
+  throw SpecError("unknown engine config '" + name +
+                  "' (known: ratio1 ratio2 ratio3 ratio4)");
+}
+
+FaultScenario make_scenario(const std::string& text) {
+  FaultScenario sc;
+  sc.label = text;
+  if (text == "none") return sc;
+  const std::size_t at_pos = text.find('@');
+  if (at_pos != std::string::npos) {
+    const std::string kind = text.substr(0, at_pos);
+    sc.at = parse_at_suffix(text, at_pos);
+    if (kind == "budget") {
+      sc.kind = FaultScenario::Kind::kBudget;
+      if (sc.at < 1) throw SpecError("budget@T needs T >= 1");
+      return sc;
+    }
+    if (kind == "kill") {
+      sc.kind = FaultScenario::Kind::kKill;
+      return sc;
+    }
+    if (kind == "unmark") {
+      sc.kind = FaultScenario::Kind::kUnmark;
+      return sc;
+    }
+    if (kind == "dfs") {
+      sc.kind = FaultScenario::Kind::kDfs;
+      return sc;
+    }
+  }
+  throw SpecError("unknown scenario '" + text +
+                  "' (known: none budget@T kill@T unmark@T dfs@T)");
+}
+
+std::vector<std::string> parse_name_list(const std::string& text) {
+  return tokenize(text);
+}
+
+std::vector<std::uint64_t> parse_u64_list(const std::string& flag,
+                                          const std::string& text) {
+  std::vector<std::uint64_t> values;
+  for (const std::string& token : tokenize(text)) {
+    const std::size_t dots = token.find("..");
+    if (dots == std::string::npos) {
+      values.push_back(parse_u64_token(flag, token));
+      continue;
+    }
+    const std::string lo_s = token.substr(0, dots);
+    std::string hi_s = token.substr(dots + 2);
+    std::uint64_t step = 1;
+    const std::size_t colon = hi_s.find(':');
+    if (colon != std::string::npos) {
+      step = parse_u64_token(flag, hi_s.substr(colon + 1));
+      if (step == 0) throw SpecError(flag + ": range step must be >= 1");
+      hi_s = hi_s.substr(0, colon);
+    }
+    const std::uint64_t lo = parse_u64_token(flag, lo_s);
+    const std::uint64_t hi = parse_u64_token(flag, hi_s);
+    if (hi < lo) {
+      throw SpecError(flag + ": range '" + token + "' runs backwards");
+    }
+    if ((hi - lo) / step >= kMaxRangeItems) {
+      throw SpecError(flag + ": range '" + token + "' expands to more than " +
+                      std::to_string(kMaxRangeItems) + " items");
+    }
+    for (std::uint64_t v = lo; v <= hi; v += step) {
+      values.push_back(v);
+      if (v > hi - step) break;  // unsigned overflow guard at the top end
+    }
+  }
+  return values;
+}
+
+void check_families(const std::vector<std::string>& families) {
+  const std::vector<std::string> names = family_names();
+  for (const std::string& fam : families) {
+    if (std::find(names.begin(), names.end(), fam) == names.end()) {
+      std::string known;
+      for (const std::string& n : names) known += (known.empty() ? "" : " ") + n;
+      throw SpecError("unknown family '" + fam + "' (known: " + known + ")");
+    }
+  }
+}
+
+std::vector<JobSpec> expand(const CampaignSpec& spec) {
+  if (spec.families.empty()) throw SpecError("campaign has no families");
+  if (spec.sizes.empty()) throw SpecError("campaign has no sizes");
+  if (spec.seeds.empty()) throw SpecError("campaign has no seeds");
+  if (spec.configs.empty()) throw SpecError("campaign has no configs");
+  if (spec.scenarios.empty()) throw SpecError("campaign has no scenarios");
+  check_families(spec.families);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(spec.families.size() * spec.sizes.size() * spec.seeds.size() *
+               spec.configs.size() * spec.scenarios.size());
+  for (const std::string& family : spec.families) {
+    for (const NodeId nodes : spec.sizes) {
+      for (const std::uint64_t seed : spec.seeds) {
+        for (const EngineConfig& config : spec.configs) {
+          for (const FaultScenario& scenario : spec.scenarios) {
+            JobSpec job;
+            job.index = jobs.size();
+            job.family = family;
+            job.nodes = nodes;
+            job.seed = seed;
+            job.root = spec.root;
+            job.config = config;
+            job.scenario = scenario;
+            job.max_ticks = spec.max_ticks;
+            jobs.push_back(std::move(job));
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+CampaignSpec parse_spec_text(const std::string& text) {
+  CampaignSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && is_space(line[start])) ++start;
+    if (start == line.size()) continue;
+
+    const std::size_t eq = line.find('=', start);
+    if (eq == std::string::npos) {
+      throw SpecError("spec line " + std::to_string(lineno) +
+                      ": expected 'key = values', got '" + line.substr(start) +
+                      "'");
+    }
+    std::string key = line.substr(start, eq - start);
+    while (!key.empty() && is_space(key.back())) key.pop_back();
+    const std::string value = line.substr(eq + 1);
+
+    if (key == "families") {
+      spec.families = parse_name_list(value);
+      check_families(spec.families);
+    } else if (key == "sizes") {
+      spec.sizes.clear();
+      for (const std::uint64_t v : parse_u64_list("sizes", value)) {
+        if (v < 2 || v > std::numeric_limits<NodeId>::max()) {
+          throw SpecError("sizes: " + std::to_string(v) + " is out of range");
+        }
+        spec.sizes.push_back(static_cast<NodeId>(v));
+      }
+    } else if (key == "seeds") {
+      spec.seeds = parse_u64_list("seeds", value);
+    } else if (key == "configs") {
+      spec.configs.clear();
+      for (const std::string& name : parse_name_list(value)) {
+        spec.configs.push_back(make_engine_config(name));
+      }
+    } else if (key == "scenarios") {
+      spec.scenarios.clear();
+      for (const std::string& name : parse_name_list(value)) {
+        spec.scenarios.push_back(make_scenario(name));
+      }
+    } else if (key == "root") {
+      const auto tokens = tokenize(value);
+      const std::uint64_t v =
+          parse_u64_token("root", tokens.empty() ? "" : tokens[0]);
+      if (v > std::numeric_limits<NodeId>::max()) {
+        throw SpecError("root value out of range");
+      }
+      spec.root = static_cast<NodeId>(v);
+    } else if (key == "max-ticks") {
+      const auto tokens = tokenize(value);
+      const std::uint64_t v =
+          parse_u64_token("max-ticks", tokens.empty() ? "" : tokens[0]);
+      if (v > static_cast<std::uint64_t>(std::numeric_limits<Tick>::max())) {
+        throw SpecError("max-ticks value out of range");
+      }
+      spec.max_ticks = static_cast<Tick>(v);
+    } else {
+      throw SpecError("spec line " + std::to_string(lineno) +
+                      ": unknown key '" + key + "'");
+    }
+  }
+  // Empty value lists (e.g. "sizes =") must not silently collapse the matrix.
+  if (spec.families.empty() || spec.sizes.empty() || spec.seeds.empty() ||
+      spec.configs.empty() || spec.scenarios.empty()) {
+    throw SpecError("spec leaves a campaign dimension empty");
+  }
+  return spec;
+}
+
+}  // namespace dtop::runner

@@ -1,0 +1,113 @@
+// Experiment-campaign declarations: the declarative sweep spec and its
+// deterministic expansion into a job matrix.
+//
+// A campaign is the cross product
+//   families x sizes x seeds x engine configs x fault scenarios
+// expanded in that nesting order (scenarios innermost) into JobSpecs whose
+// `index` is their position in the expansion. Every job is fully determined
+// by its JobSpec — graph generation is seeded by the job's (family, size,
+// seed) triple and fault injection draws its wire from an RNG derived from
+// the job seed — so a campaign produces identical results no matter how many
+// worker threads execute it or in which order the jobs finish.
+//
+// The spec can be built programmatically (benches), from CLI flag lists
+// (`dtopctl sweep --families torus,debruijn --sizes 8..32:8 ...`), or from a
+// spec file of `key = values` lines (parse_spec_text).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "proto/alphabet.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace dtop::runner {
+
+// Thrown on malformed spec strings/files (unknown family, bad range, ...).
+class SpecError : public Error {
+ public:
+  explicit SpecError(std::string what) : Error(std::move(what)) {}
+};
+
+// A named protocol configuration. The presets expose the E9 ablation axis:
+// `ratioK` runs snakes at a K:1 cleanup-to-snake speed ratio (the paper's
+// design is ratio3; ratio1 is the broken configuration that must fail
+// loudly).
+struct EngineConfig {
+  std::string label = "ratio3";
+  ProtocolConfig protocol;
+
+  bool operator==(const EngineConfig&) const = default;
+};
+
+// Accepts "ratio1".."ratio4"; throws SpecError otherwise.
+EngineConfig make_engine_config(const std::string& name);
+
+// A fault applied to one job. `kBudget` caps the tick budget (forcing a
+// clean per-job kTickBudget failure); the injection kinds place one rogue
+// character on a seed-chosen wire at tick `at`, reproducing the fail-loud
+// scenarios of tests/test_faults.cpp at campaign scale.
+struct FaultScenario {
+  enum class Kind : std::uint8_t {
+    kNone,    // run the protocol unmolested
+    kBudget,  // cap the tick budget at `at`
+    kKill,    // inject a rogue KILL flood character
+    kUnmark,  // inject a rogue UNMARK loop token
+    kDfs,     // inject a duplicate DFS token
+  };
+  Kind kind = Kind::kNone;
+  Tick at = 0;  // budget cap, or injection tick
+  std::string label = "none";
+
+  bool operator==(const FaultScenario&) const = default;
+};
+
+// Accepts "none", "budget@T", "kill@T", "unmark@T", "dfs@T".
+FaultScenario make_scenario(const std::string& text);
+
+struct CampaignSpec {
+  std::vector<std::string> families = {"torus"};
+  std::vector<NodeId> sizes = {16};
+  std::vector<std::uint64_t> seeds = {1};
+  std::vector<EngineConfig> configs = {EngineConfig{}};
+  std::vector<FaultScenario> scenarios = {FaultScenario{}};
+  NodeId root = 0;
+  Tick max_ticks = 0;  // 0 = automatic per-graph budget
+};
+
+// One protocol execution: a point of the campaign's cross product.
+struct JobSpec {
+  std::size_t index = 0;  // position in expansion order (stable job id)
+  std::string family;
+  NodeId nodes = 0;  // size hint passed to make_family
+  std::uint64_t seed = 0;
+  NodeId root = 0;
+  EngineConfig config;
+  FaultScenario scenario;
+  Tick max_ticks = 0;  // 0 = automatic budget (scenario kBudget overrides)
+};
+
+// Expands the cross product. Dimension order (outer to inner): families,
+// sizes, seeds, configs, scenarios. Throws SpecError on an empty dimension
+// or an unknown family name.
+std::vector<JobSpec> expand(const CampaignSpec& spec);
+
+// List grammar shared by the CLI flags and spec files: items separated by
+// commas and/or whitespace; integer items may be ranges "lo..hi" or
+// "lo..hi:step" (inclusive).
+std::vector<std::string> parse_name_list(const std::string& text);
+std::vector<std::uint64_t> parse_u64_list(const std::string& flag,
+                                          const std::string& text);
+
+// Parses a spec file body: one `key = values` per line, '#' comments, blank
+// lines ignored. Keys: families, sizes, seeds, configs, scenarios, root,
+// max-ticks. Unset keys keep the CampaignSpec defaults.
+CampaignSpec parse_spec_text(const std::string& text);
+
+// Throws SpecError unless every name is in family_names().
+void check_families(const std::vector<std::string>& families);
+
+}  // namespace dtop::runner

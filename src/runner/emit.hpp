@@ -1,0 +1,30 @@
+// Structured campaign-result emitters, shared by `dtopctl sweep` and the
+// bench binaries.
+//
+// Both formats are deterministic functions of the job results alone: wall
+// clock fields are excluded unless `timing` is set, so a campaign emitted at
+// --threads 1 and --threads 8 is byte-identical.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace dtop::runner {
+
+struct EmitOptions {
+  bool timing = false;  // include per-job and total wall_ms (non-deterministic)
+};
+
+// One JSON object: {"campaign": {...}, "jobs": [...], "summary": {...}}.
+void write_json(std::ostream& os, const CampaignResult& result,
+                const EmitOptions& opt = {});
+
+// RFC-4180-style CSV with a header row; `detail` is quoted.
+void write_csv(std::ostream& os, const CampaignResult& result,
+               const EmitOptions& opt = {});
+
+std::string json_escape(const std::string& s);
+
+}  // namespace dtop::runner

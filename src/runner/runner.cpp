@@ -1,0 +1,211 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "core/gtd.hpp"
+#include "core/verify.hpp"
+#include "graph/analysis.hpp"
+#include "graph/families.hpp"
+#include "sim/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace dtop::runner {
+namespace {
+
+Character rogue_character(FaultScenario::Kind kind) {
+  Character c;
+  switch (kind) {
+    case FaultScenario::Kind::kKill:
+      c.kill = true;
+      break;
+    case FaultScenario::Kind::kUnmark:
+      c.rloop = RcaToken{RcaToken::Kind::kUnmark, kNoPort, kNoPort};
+      break;
+    case FaultScenario::Kind::kDfs:
+      c.dfs = DfsToken{0, kStarPort};
+      break;
+    default:
+      unreachable("rogue_character: not an injection scenario");
+  }
+  return c;
+}
+
+// run_gtd with a one-shot rogue-character injection — the same tick loop,
+// map build, and end-state audit, so a "none"-scenario job through run_gtd
+// and an injection job that happens to be harmless are directly comparable.
+// `*injected` reports whether the injection tick was actually reached; a
+// run that ends first must not be read as "survived the fault".
+GtdResult run_gtd_injected(const PortGraph& g, const JobSpec& job,
+                           bool* injected) {
+  GtdResult result;
+  GtdMachine::Config cfg;
+  cfg.protocol = job.config.protocol;
+  cfg.transcript = &result.transcript;
+
+  GtdEngine engine(g, job.root, cfg, /*num_threads=*/1);
+  engine.schedule(job.root);
+
+  // The injected wire is a deterministic function of the job's seed and the
+  // injection tick — never of thread count or completion order.
+  const std::vector<WireId> wires = g.wire_ids();
+  Rng rng(0x6a09e667f3bcc908ULL ^ (job.seed * 0x9e3779b97f4a7c15ULL) ^
+          static_cast<std::uint64_t>(job.scenario.at));
+  const WireId wire = wires[rng.next_below(wires.size())];
+  const Character rogue = rogue_character(job.scenario.kind);
+
+  const Tick budget =
+      job.max_ticks > 0 ? job.max_ticks : default_tick_budget(g);
+  while (engine.now() < budget) {
+    if (engine.now() == job.scenario.at) {
+      engine.inject(wire, rogue);
+      *injected = true;
+    }
+    engine.step();
+    if (engine.machine(job.root).terminated()) {
+      result.status = RunStatus::kTerminated;
+      break;
+    }
+  }
+  result.stats = engine.stats();
+
+  MapBuilder builder(g.delta());
+  builder.consume_all(result.transcript);
+  result.map_complete = builder.complete();
+  result.map = builder.map();
+  result.records = builder.records();
+
+  if (result.status == RunStatus::kTerminated) {
+    for (int i = 0; i < 8; ++i) engine.step();
+    result.end_state_clean = end_state_clean(engine);
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* to_cstr(JobStatus s) {
+  switch (s) {
+    case JobStatus::kExact: return "exact";
+    case JobStatus::kResidue: return "residue";
+    case JobStatus::kMismatch: return "mismatch";
+    case JobStatus::kBudget: return "budget";
+    case JobStatus::kViolation: return "violation";
+  }
+  return "?";
+}
+
+std::size_t CampaignResult::failed() const {
+  std::size_t n = 0;
+  for (const JobResult& j : jobs)
+    if (!j.ok()) ++n;
+  return n;
+}
+
+JobResult run_job(const JobSpec& job) {
+  JobResult r;
+  r.spec = job;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    FamilyInstance fi = make_family(job.family, job.nodes, job.seed);
+    const PortGraph& g = fi.graph;
+    r.label = fi.label;
+    r.n = g.num_nodes();
+    r.d = diameter(g);
+    r.e = g.num_wires();
+    DTOP_REQUIRE(job.root < g.num_nodes(),
+                 "root " + std::to_string(job.root) + " out of range for " +
+                     fi.label);
+
+    GtdResult res;
+    bool injected = true;
+    switch (job.scenario.kind) {
+      case FaultScenario::Kind::kNone:
+      case FaultScenario::Kind::kBudget: {
+        GtdOptions opt;
+        opt.protocol = job.config.protocol;
+        opt.max_ticks = job.scenario.kind == FaultScenario::Kind::kBudget
+                            ? job.scenario.at
+                            : job.max_ticks;
+        res = run_gtd(g, job.root, opt);
+        break;
+      }
+      default:
+        injected = false;
+        res = run_gtd_injected(g, job, &injected);
+        break;
+    }
+
+    r.ticks = res.stats.ticks;
+    r.messages = res.stats.messages;
+    r.node_steps = res.stats.node_steps;
+    if (res.status != RunStatus::kTerminated) {
+      r.status = JobStatus::kBudget;
+      r.detail = "tick budget exhausted after " +
+                 std::to_string(res.stats.ticks) + " ticks";
+    } else if (!res.map_complete) {
+      r.status = JobStatus::kMismatch;
+      r.detail = "transcript did not yield a complete map";
+    } else {
+      const VerifyResult v = verify_map(g, job.root, res.map);
+      if (!v.ok) {
+        r.status = JobStatus::kMismatch;
+        r.detail = v.detail;
+      } else if (!res.end_state_clean) {
+        r.status = JobStatus::kResidue;
+        r.detail = "end state not pristine (Lemma 4.2)";
+      } else {
+        r.status = JobStatus::kExact;
+      }
+    }
+    if (!injected) {
+      // The run ended before the injection tick: an "exact" here means the
+      // fault never happened, not that the protocol survived it.
+      if (!r.detail.empty()) r.detail += "; ";
+      r.detail += "injection tick " + std::to_string(job.scenario.at) +
+                  " never reached (run ended at tick " +
+                  std::to_string(res.stats.ticks) + ")";
+    }
+  } catch (const std::exception& e) {
+    r.status = JobStatus::kViolation;
+    r.detail = e.what();
+  }
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunnerOptions& opt) {
+  DTOP_REQUIRE(opt.threads >= 1, "runner threads must be >= 1");
+
+  CampaignResult out;
+  out.spec = spec;
+  const std::vector<JobSpec> jobs = expand(spec);
+  out.jobs.resize(jobs.size());
+
+  const int threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(opt.threads), std::max<std::size_t>(jobs.size(), 1)));
+  ThreadPool pool(threads);
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;
+  std::mutex mu;  // serializes progress reporting and the done counter
+
+  pool.run([&](int) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      out.jobs[i] = run_job(jobs[i]);  // never throws: failures land in it
+      if (opt.progress) {
+        std::lock_guard<std::mutex> lock(mu);
+        opt.progress(out.jobs[i], ++done, jobs.size());
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace dtop::runner

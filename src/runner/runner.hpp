@@ -1,0 +1,71 @@
+// The campaign executor: expands a CampaignSpec and runs every job
+// concurrently on a shared ThreadPool.
+//
+// Each job is one single-threaded protocol execution (the concurrency is
+// across jobs, so nested thread pools never appear), fully determined by its
+// JobSpec. Failures — verify mismatch, tick-budget exhaustion, protocol
+// invariant violations — are captured in the job's result instead of
+// aborting the campaign; one bad configuration cannot kill a 10k-job sweep.
+// Results are stored by job index, so a campaign's output is identical at
+// any thread count (only wall-clock fields differ; the emitters exclude
+// them unless asked).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+
+namespace dtop::runner {
+
+// How a job ended, most desirable first. kExact is the only success.
+enum class JobStatus : std::uint8_t {
+  kExact,      // terminated, map verified, end state pristine
+  kResidue,    // map exact but the end state kept protocol residue
+  kMismatch,   // terminated but the recovered map is wrong or incomplete
+  kBudget,     // tick budget exhausted before the root terminated
+  kViolation,  // a protocol invariant (or other exception) fired
+};
+const char* to_cstr(JobStatus s);
+
+struct JobResult {
+  JobSpec spec;
+  std::string label;  // family instance label, e.g. "torus-3x3"
+  NodeId n = 0;       // actual node count (size hints snap per family)
+  std::uint32_t d = 0;  // directed diameter
+  std::uint32_t e = 0;  // wires
+  JobStatus status = JobStatus::kViolation;
+  std::string detail;  // mismatch / violation explanation ("" when exact)
+  Tick ticks = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t node_steps = 0;
+  double wall_ms = 0.0;  // wall clock; excluded from deterministic emits
+
+  bool ok() const { return status == JobStatus::kExact; }
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<JobResult> jobs;  // expansion order (JobSpec::index)
+
+  std::size_t failed() const;
+  bool all_ok() const { return failed() == 0; }
+};
+
+struct RunnerOptions {
+  int threads = 1;  // concurrent jobs; each job's engine stays sequential
+  // Invoked (serialized) as each job finishes, in completion order:
+  // (result, jobs finished so far, total jobs). May write to a stream.
+  std::function<void(const JobResult&, std::size_t, std::size_t)> progress;
+};
+
+// Executes one job. Never throws: every failure mode lands in the result.
+JobResult run_job(const JobSpec& job);
+
+// Expands and executes the whole campaign.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunnerOptions& opt = {});
+
+}  // namespace dtop::runner

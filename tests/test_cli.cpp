@@ -111,8 +111,89 @@ TEST(CliParse, BenchLists) {
   EXPECT_EQ(opt.seed, 3u);
 }
 
+TEST(CliParse, ListGrammarIsUniformAcrossSubcommands) {
+  // bench and sweep share one list grammar: commas and/or whitespace.
+  const BenchOptions bench =
+      parse_bench_args({"--families", "torus debruijn"});
+  EXPECT_EQ(bench.families, (std::vector<std::string>{"torus", "debruijn"}));
+  const SweepOptions sweep =
+      parse_sweep_args({"--families", "torus debruijn"});
+  EXPECT_EQ(sweep.spec.families,
+            (std::vector<std::string>{"torus", "debruijn"}));
+}
+
 TEST(CliParse, BenchRejectsUnknownFamily) {
   EXPECT_THROW(parse_bench_args({"--families", "torus,nope"}), UsageError);
+}
+
+TEST(CliParse, SweepFullFlagSet) {
+  const SweepOptions opt = parse_sweep_args(
+      {"--families", "torus,dering", "--sizes", "4,8..16:4", "--seeds",
+       "1..3", "--configs", "ratio3,ratio4", "--scenarios", "none,budget@9",
+       "--root", "1", "--max-ticks", "90000", "--threads", "4", "--format",
+       "json", "--out", "res.json", "--timing", "--quiet"});
+  EXPECT_EQ(opt.spec.families, (std::vector<std::string>{"torus", "dering"}));
+  EXPECT_EQ(opt.spec.sizes, (std::vector<NodeId>{4, 8, 12, 16}));
+  EXPECT_EQ(opt.spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  ASSERT_EQ(opt.spec.configs.size(), 2u);
+  EXPECT_EQ(opt.spec.configs[1].label, "ratio4");
+  ASSERT_EQ(opt.spec.scenarios.size(), 2u);
+  EXPECT_EQ(opt.spec.scenarios[1].label, "budget@9");
+  EXPECT_EQ(opt.spec.root, 1u);
+  EXPECT_EQ(opt.spec.max_ticks, 90000);
+  EXPECT_EQ(opt.threads, 4);
+  EXPECT_EQ(opt.format, "json");
+  EXPECT_EQ(opt.out, "res.json");
+  EXPECT_TRUE(opt.timing);
+  EXPECT_TRUE(opt.quiet);
+}
+
+TEST(CliParse, SweepDefaults) {
+  const SweepOptions opt = parse_sweep_args({});
+  EXPECT_EQ(opt.threads, 1);
+  EXPECT_EQ(opt.format, "table");
+  EXPECT_FALSE(opt.timing);
+  ASSERT_EQ(opt.spec.configs.size(), 1u);
+  EXPECT_EQ(opt.spec.scenarios[0].label, "none");
+}
+
+TEST(CliParse, SweepRejectsBadValuesAsUsageErrors) {
+  EXPECT_THROW(parse_sweep_args({"--families", "klein_bottle"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--sizes", "many"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--sizes", "1"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--seeds", "9..1"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--configs", "warp9"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--scenarios", "meteor@4"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--format", "xml"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--threads", "0"}), UsageError);
+  EXPECT_THROW(parse_sweep_args({"--bogus"}), UsageError);
+}
+
+TEST(CliParse, SweepMalformedSpecFileIsAUsageError) {
+  // The exit-code contract: a malformed value is operator error (exit 2)
+  // whether it arrives via a flag or inside a --spec file.
+  const std::string path = temp_path("sweep_bad_spec.txt");
+  {
+    std::ofstream out(path);
+    out << "sizes = many\n";
+  }
+  EXPECT_THROW(parse_sweep_args({"--spec", path}), UsageError);
+}
+
+TEST(CliParse, SweepSpecFileWithFlagOverrides) {
+  const std::string path = temp_path("sweep_spec.txt");
+  {
+    std::ofstream out(path);
+    out << "families = torus, dering\n"
+           "sizes = 9\n"
+           "seeds = 1..4\n";
+  }
+  // Flags win over the file regardless of argument order.
+  const SweepOptions opt =
+      parse_sweep_args({"--seeds", "7", "--spec", path});
+  EXPECT_EQ(opt.spec.families, (std::vector<std::string>{"torus", "dering"}));
+  EXPECT_EQ(opt.spec.sizes, (std::vector<NodeId>{9}));
+  EXPECT_EQ(opt.spec.seeds, (std::vector<std::uint64_t>{7}));
 }
 
 // ----------------------------- subcommands -------------------------------
@@ -131,9 +212,13 @@ TEST(CliMain, NoArgsIsUsageErrorOnStderr) {
 }
 
 TEST(CliMain, UnknownSubcommandExitsTwo) {
+  // The exit-code contract (docs/dtopctl.md): unknown subcommand => usage
+  // on stderr, nothing on stdout, exit 2.
   std::ostringstream out, err;
   EXPECT_EQ(cli_main({"frobnicate"}, out, err), 2);
+  EXPECT_TRUE(out.str().empty());
   EXPECT_NE(err.str().find("unknown subcommand"), std::string::npos);
+  EXPECT_NE(err.str().find("Usage:"), std::string::npos);
 }
 
 TEST(CliMain, RunVerifyTorusEndToEnd) {
@@ -224,6 +309,75 @@ TEST(CliMain, BenchPrintsModelTimeTable) {
   EXPECT_EQ(rc, 0) << err.str();
   EXPECT_NE(out.str().find("ticks/(N*D)"), std::string::npos);
   EXPECT_NE(out.str().find("torus"), std::string::npos);
+}
+
+TEST(CliMain, SweepJsonRoundTripIdenticalAcrossThreadCounts) {
+  // The ISSUE acceptance line: a 2-families x 3-sizes x 4-seeds campaign
+  // (24 jobs) run concurrently, with byte-identical JSON at 1 and 8 threads.
+  const std::vector<std::string> base = {
+      "sweep",   "--families", "torus,dering", "--sizes", "4,6,9",
+      "--seeds", "1,2,3,4",    "--format",     "json",    "--quiet"};
+  auto with_threads = [&](const std::string& n) {
+    std::vector<std::string> args = base;
+    args.push_back("--threads");
+    args.push_back(n);
+    return args;
+  };
+  std::ostringstream out1, err1, out8, err8;
+  EXPECT_EQ(cli_main(with_threads("1"), out1, err1), 0) << err1.str();
+  EXPECT_EQ(cli_main(with_threads("8"), out8, err8), 0) << err8.str();
+  EXPECT_EQ(out1.str(), out8.str());
+
+  const std::string& json = out1.str();
+  EXPECT_NE(json.find("\"jobs\": 24"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exact\": 24"), std::string::npos);
+  EXPECT_NE(json.find("\"ticks\""), std::string::npos);
+  EXPECT_NE(json.find("\"messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"verify\": true"), std::string::npos);
+}
+
+TEST(CliMain, SweepStreamsProgressToStderr) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"sweep", "--families", "torus", "--sizes", "4",
+                      "--seeds", "1,2"},
+                     out, err),
+            0);
+  EXPECT_NE(err.str().find("[1/2]"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("[2/2]"), std::string::npos);
+  EXPECT_NE(out.str().find("2 jobs, 2 exact, 0 failed"), std::string::npos);
+}
+
+TEST(CliMain, SweepCollectsPerJobFailuresAndExitsOne) {
+  // A tick-budget fault must mark its own job failed without aborting the
+  // campaign; the healthy job still verifies.
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"sweep", "--families", "torus", "--sizes", "9",
+                      "--seeds", "1", "--scenarios", "none,budget@4",
+                      "--quiet"},
+                     out, err),
+            1);
+  EXPECT_NE(out.str().find("exact"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("budget"), std::string::npos);
+  EXPECT_NE(out.str().find("1 failed"), std::string::npos);
+}
+
+TEST(CliMain, SweepSpecFileEndToEnd) {
+  const std::string spec_path = temp_path("sweep_e2e_spec.txt");
+  const std::string out_path = temp_path("sweep_e2e.csv");
+  {
+    std::ofstream spec(spec_path);
+    spec << "# tiny campaign\nfamilies = torus\nsizes = 4\nseeds = 1, 2\n";
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"sweep", "--spec", spec_path, "--format", "csv",
+                      "--out", out_path, "--quiet"},
+                     out, err),
+            0)
+      << err.str();
+  const std::string csv = read_file(out_path);
+  EXPECT_EQ(csv.rfind("index,family,label", 0), 0u) << csv;
+  EXPECT_NE(csv.find("exact"), std::string::npos);
+  EXPECT_NE(out.str().find("written to"), std::string::npos);
 }
 
 TEST(CliMain, RunRootOutOfRangeFails) {

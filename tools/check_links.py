@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+Scans each file for inline links/images `[text](target)`, skips absolute
+URLs (http/https/mailto) and pure in-page anchors (#...), strips any
+#fragment, and verifies the target exists relative to the linking file's
+directory. Exits 1 listing every broken link. Stdlib only — runs anywhere
+python3 does (the CI docs job).
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline link or image. [^)\s] keeps titles/spaces out of the target; code
+# spans are stripped first so `foo](bar)` inside backticks is not a link.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`[^`]*`")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(md_file: Path):
+    text = md_file.read_text(encoding="utf-8")
+    # Drop fenced code blocks and inline code: examples are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    text = CODE_RE.sub("", text)
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (md_file.parent / path).exists():
+            yield target
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for name in argv[1:]:
+        md_file = Path(name)
+        if not md_file.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        for target in broken_links(md_file):
+            failures.append(f"{name}: broken link -> {target}")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"ok: {len(argv) - 1} files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
