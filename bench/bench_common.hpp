@@ -12,7 +12,7 @@
 #include "core/gtd.hpp"
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
-#include "proto/duration_observer.hpp"
+#include "trace/duration_observer.hpp"
 #include "runner/runner.hpp"
 #include "support/table.hpp"
 
@@ -43,7 +43,30 @@ std::vector<runner::JobResult> run_family_sweep(
     const std::vector<std::string>& families, const std::vector<NodeId>& sizes,
     std::uint64_t seed = 1);
 
-// Standard size sweep used by several experiments.
+// Standard size sweep used by several experiments. Honors the
+// DTOP_BENCH_QUICK environment variable (any non-empty value): CI sets it
+// to trim the sweep so the JSON artifacts stay cheap to regenerate.
 std::vector<NodeId> default_sizes();
+
+// Machine-readable companion to the printed tables: accumulates an
+// experiment's tables and writes them as BENCH_<exp>.json — the same
+// model-time numbers as the human tables (numeric cells emitted as JSON
+// numbers) plus an "env" block (compiler, build type, hardware threads).
+// The file lands in $DTOP_BENCH_JSON_DIR if set, else the working
+// directory; CI uploads the files as artifacts, giving every experiment a
+// perf trajectory over time.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string exp);  // e.g. "E1"
+
+  void add(const std::string& name, const Table& table);
+
+  // Writes BENCH_<exp>.json and prints the path to `diag`.
+  void write(std::ostream& diag) const;
+
+ private:
+  std::string exp_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
 
 }  // namespace dtop::bench

@@ -19,6 +19,7 @@ using namespace dtop;
 using namespace dtop::bench;
 
 void print_table() {
+  BenchJson json("E1");
   const std::vector<std::string> families = {
       "dering", "biring",   "debruijn", "shufflex", "butterfly",
       "kautz",  "treeloop", "ccc",      "torus",    "random3"};
@@ -48,6 +49,7 @@ void print_table() {
     fit_data[fam].second.push_back(static_cast<double>(run.ticks));
   }
   table.print(std::cout);
+  json.add("scaling", table);
 
   std::cout << "\nPer-family fits of ticks = a * (N*D)^b  (b ~= 1 supports "
                "the O(N*D) claim):\n";
@@ -58,6 +60,8 @@ void print_table() {
     fits.row().cell(fam).cell(f.slope, 3).cell(f.intercept, 2).cell(f.r2, 4);
   }
   fits.print(std::cout);
+  json.add("fits", fits);
+  json.write(std::cout);
 }
 
 // Wall-clock timing of a representative protocol run.

@@ -71,6 +71,7 @@ std::vector<LoopSample> collect(const PortGraph& g, NodeId root) {
 }
 
 void print_table() {
+  BenchJson json("E2");
   Table table({"workload", "#RCAs", "loop min", "loop max", "ticks/loop fit",
                "intercept", "R^2"});
   table.set_caption(
@@ -107,6 +108,7 @@ void print_table() {
         .cell(f.r2, 4);
   }
   table.print(std::cout);
+  json.add("loops", table);
 
   // Phase decomposition of the 11 ticks/hop constant, per workload.
   Table phases({"workload", "flood/hop", "mark/hop", "token/hop",
@@ -137,6 +139,8 @@ void print_table() {
         .cell(fl + mk + tk + um, 2);
   }
   phases.print(std::cout);
+  json.add("phases", phases);
+  json.write(std::cout);
 
   std::cout << "\nA linear fit with slope ~11 ticks per loop hop across all "
                "workloads reproduces Lemma 4.3; the decomposition shows "

@@ -77,6 +77,9 @@ void print_table() {
         .cell(f.r2, 4);
   }
   table.print(std::cout);
+  BenchJson json("E3");
+  json.add("bca", table);
+  json.write(std::cout);
   std::cout << "\nA tight linear fit (R^2 ~ 1) of BCA duration against the "
                "true loop length d(B,A)+1 reproduces the O(D) contract of "
                "Section 4.1.\n";

@@ -27,6 +27,7 @@ using namespace dtop;
 using namespace dtop::bench;
 
 void print_table() {
+  BenchJson json("E4");
   const Port delta = 3;  // the family's degree bound
   std::cout << "Alphabet: log2|I| = " << format_double(log2_alphabet_size(delta), 2)
             << " bits; transcript capacity "
@@ -60,6 +61,7 @@ void print_table() {
     ratios.push_back(tmeas / nlogn);
   }
   table.print(std::cout);
+  json.add("bound", table);
 
   std::cout << "\nShape check: T_meas/(N log2 N) should approach a constant "
                "(measured spread "
@@ -82,6 +84,8 @@ void print_table() {
         .cell(lower_bound_ticks(depth, delta) / (n * std::log2(n)), 4);
   }
   extrap.print(std::cout);
+  json.add("extrapolation", extrap);
+  json.write(std::cout);
 }
 
 void BM_TreeLoopProtocol(benchmark::State& state) {

@@ -68,6 +68,9 @@ void print_table() {
         .cell(run.result.end_state_clean ? "yes" : "NO");
   }
   table.print(std::cout);
+  BenchJson json("E5");
+  json.add("cleanup", table);
+  json.write(std::cout);
   std::cout << "\nPositive margins on every RCA reproduce Lemma 4.2: the "
                "growing snakes are gone before the UNMARK token closes the "
                "loop. Re-erasures > 0 show the straggler chase is a real "

@@ -18,6 +18,7 @@ using namespace dtop;
 using namespace dtop::bench;
 
 void print_table() {
+  BenchJson json("E6");
   const std::vector<std::string> families = {"dering", "debruijn", "treeloop",
                                              "torus", "random3"};
   Table table({"family", "N", "D", "E", "characters", "chars/tick",
@@ -45,6 +46,7 @@ void print_table() {
     fit[fam].second.push_back(chars);
   }
   table.print(std::cout);
+  json.add("messages", table);
 
   std::cout << "\nGrowth exponents (characters ~ N^b per family):\n";
   Table fits({"family", "exponent b", "R^2"});
@@ -54,6 +56,8 @@ void print_table() {
     fits.row().cell(fam).cell(f.slope, 2).cell(f.r2, 4);
   }
   fits.print(std::cout);
+  json.add("fits", fits);
+  json.write(std::cout);
   std::cout << "\nFlooding every RCA makes traffic super-quadratic in N "
                "(b ~ 2-3 depending on D's growth) — the price of "
                "constant-size messages; compare E7 for the baselines.\n";

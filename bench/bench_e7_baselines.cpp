@@ -63,6 +63,9 @@ void print_table() {
         .cell(gtd / static_cast<double>(ideal.completion_tick), 1);
   }
   table.print(std::cout);
+  BenchJson json("E7");
+  json.add("baselines", table);
+  json.write(std::cout);
   std::cout << "\nThe GTD/ideal factor grows ~linearly in N (O(N*D) vs "
                "O(D)): exactly the cost the paper accepts for anonymous "
                "finite-state processors on arbitrary directed networks.\n";

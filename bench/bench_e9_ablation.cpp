@@ -108,6 +108,9 @@ void print_table() {
     }
   }
   table.print(std::cout);
+  BenchJson json("E9");
+  json.add("ablation", table);
+  json.write(std::cout);
   std::cout
       << "\nReadout: the paper's ratio (snake_delay=2, i.e. 3:1) is the "
          "reference. Ratio 4:1 works but costs ~4/3 more time. Ratio 2:1 "

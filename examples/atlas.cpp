@@ -21,7 +21,7 @@
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
-#include "proto/duration_observer.hpp"
+#include "trace/duration_observer.hpp"
 #include "proto/trace.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"

@@ -14,7 +14,6 @@
 #include "support/table.hpp"
 
 namespace dtop::cli {
-namespace {
 
 bool parse_spec_flag(FlagWalker& w, GraphSpec& spec) {
   const std::string& f = w.flag();
@@ -53,6 +52,8 @@ void check_spec(const GraphSpec& spec) {
     throw UsageError("need --family <name> or --graph <file>");
   }
 }
+
+namespace {
 
 void print_map_edges(const TopologyMap& map, std::ostream& out) {
   out << "Recovered topology (node 0 is the root; nodes are named by their "
@@ -317,7 +318,14 @@ std::string usage_text() {
       "                 [--scenarios none,budget@T,kill@T,unmark@T,dfs@T]\n"
       "                 [--root R] [--max-ticks T] [--threads T]\n"
       "                 [--format table|json|csv] [--out FILE] [--timing]\n"
-      "                 [--quiet]\n"
+      "                 [--quiet] [--trace-dir DIR]\n"
+      "  dtopctl trace  record  (--family NAME --nodes N | --graph FILE)\n"
+      "                 --out FILE [--seed S] [--root R] [--threads T]\n"
+      "                 [--max-ticks T] [--config ratioK] [--scenario S]...\n"
+      "                 [--spans]\n"
+      "  dtopctl trace  inspect --trace FILE [--start I] [--max N] [--summary]\n"
+      "  dtopctl trace  diff    --a FILE --b FILE\n"
+      "  dtopctl trace  replay  --trace FILE [--threads T]\n"
       "  dtopctl help\n"
       "\n"
       "Families: " + families + "\n"
@@ -346,6 +354,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
       return verify_command(parse_verify_args(rest), out, err);
     if (cmd == "bench") return bench_command(parse_bench_args(rest), out, err);
     if (cmd == "sweep") return sweep_command(parse_sweep_args(rest), out, err);
+    if (cmd == "trace") return trace_command(parse_trace_args(rest), out, err);
     throw UsageError("unknown subcommand '" + cmd + "'");
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n\n" << usage_text();

@@ -9,6 +9,8 @@
 //   sweep   expand a declarative campaign spec (families x sizes x seeds x
 //           configs x scenarios) and execute the jobs concurrently through
 //           src/runner, emitting a table, JSON, or CSV.
+//   trace   record a run as a self-contained binary trace; inspect, diff,
+//           and replay trace files (src/trace).
 //
 // The subcommand implementations take explicit option structs and write to
 // caller-supplied streams so the test suite can drive them in-process; the
@@ -84,6 +86,28 @@ struct SweepOptions {
   std::string out;             // empty or "-" = stdout
   bool timing = false;         // include wall-clock fields in json/csv
   bool quiet = false;          // suppress the per-job progress stream (err)
+  std::string trace_dir;       // capture failed jobs' traces here (existing dir)
+};
+
+struct TraceOptions {
+  std::string action;        // record | inspect | diff | replay
+
+  // record
+  GraphSpec spec;
+  NodeId root = 0;
+  int threads = 1;
+  std::int64_t max_ticks = 0;  // 0 = automatic budget
+  std::string config = "ratio3";  // engine config (ratio1..ratio4)
+  std::vector<runner::FaultScenario> scenarios;  // faults applied to the run
+  bool spans = false;        // also record RCA/BCA spans (forces threads 1)
+  std::string out;           // record: output trace file ("-" = stdout)
+
+  // inspect / diff / replay
+  std::string trace_file;    // --trace FILE (diff: the A side)
+  std::string trace_b;       // diff: --b FILE
+  std::uint64_t start = 0;          // inspect: first event index
+  std::uint64_t max_events = 0;     // inspect: 0 = all
+  bool summary = false;      // inspect: header and counts only
 };
 
 // Parsers, exposed for the test suite. `args` excludes the subcommand name.
@@ -93,9 +117,16 @@ GenOptions parse_gen_args(const std::vector<std::string>& args);
 VerifyOptions parse_verify_args(const std::vector<std::string>& args);
 BenchOptions parse_bench_args(const std::vector<std::string>& args);
 SweepOptions parse_sweep_args(const std::vector<std::string>& args);
+TraceOptions parse_trace_args(const std::vector<std::string>& args);
 
 // Materializes a GraphSpec (generation or file load + validate()).
 PortGraph load_or_make_graph(const GraphSpec& spec, std::string* label = nullptr);
+
+// Shared GraphSpec flag handling (--family/--nodes/--seed/--graph), used by
+// every subcommand parser that sources a network. Defined in cli.cpp.
+class FlagWalker;
+bool parse_spec_flag(FlagWalker& w, GraphSpec& spec);
+void check_spec(const GraphSpec& spec);
 
 // Subcommand drivers. Return the process exit code (0 = success).
 int run_command(const RunOptions& opt, std::ostream& out, std::ostream& err);
@@ -105,6 +136,8 @@ int verify_command(const VerifyOptions& opt, std::ostream& out,
 int bench_command(const BenchOptions& opt, std::ostream& out,
                   std::ostream& err);
 int sweep_command(const SweepOptions& opt, std::ostream& out,
+                  std::ostream& err);
+int trace_command(const TraceOptions& opt, std::ostream& out,
                   std::ostream& err);
 
 // Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit

@@ -46,6 +46,7 @@ void print_progress(std::ostream& err, const runner::JobResult& r,
       << r.spec.scenario.label << ": " << runner::to_cstr(r.status) << " ("
       << r.ticks << " ticks, " << r.messages << " chars)";
   if (!r.ok() && !r.detail.empty()) err << " — " << r.detail;
+  if (!r.trace_file.empty()) err << " [trace: " << r.trace_file << "]";
   err << "\n";
 }
 
@@ -105,6 +106,8 @@ SweepOptions parse_sweep_args(const std::vector<std::string>& args) {
       opt.timing = true;
     } else if (f == "--quiet") {
       opt.quiet = true;
+    } else if (f == "--trace-dir") {
+      opt.trace_dir = w.value();
     } else {
       throw UsageError("unknown flag '" + f + "' for 'sweep'");
     }
@@ -168,6 +171,7 @@ int sweep_command(const SweepOptions& opt, std::ostream& out,
                   std::ostream& err) {
   runner::RunnerOptions ropt;
   ropt.threads = opt.threads;
+  ropt.trace_dir = opt.trace_dir;
   if (!opt.quiet) {
     ropt.progress = [&err](const runner::JobResult& r, std::size_t done,
                            std::size_t total) {

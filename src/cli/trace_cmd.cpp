@@ -1,0 +1,282 @@
+// The `dtopctl trace` subcommand family: record a protocol run as a
+// self-contained binary trace, then inspect, diff, and replay trace files.
+//
+//   trace record   run the protocol (optionally perturbed by --scenario
+//                  fault edits) with a recorder attached; write the trace.
+//   trace inspect  print a trace's header, per-kind event counts, and an
+//                  event listing window (wrongpath-bench style --start/--max).
+//   trace diff     compare two traces event-by-event; pinpoint the first
+//                  divergent event and its tick.
+//   trace replay   re-execute the run a trace describes and hard-fail on
+//                  the first divergence from the recording.
+#include <map>
+
+#include "cli/cli.hpp"
+#include "cli/cli_io.hpp"
+#include "cli/flags.hpp"
+#include "core/gtd.hpp"
+#include "runner/scenario.hpp"
+#include "trace/span_collector.hpp"
+#include "trace/trace_diff.hpp"
+#include "trace/trace_io.hpp"
+
+namespace dtop::cli {
+namespace {
+
+trace::RecordedTrace load_trace(const std::string& path) {
+  return with_input(path,
+                    [](std::istream& is) { return trace::read_trace(is); });
+}
+
+int record_command(const TraceOptions& opt, std::ostream& out,
+                   std::ostream& err) {
+  std::string label;
+  const PortGraph g = load_or_make_graph(opt.spec, &label);
+  if (opt.root >= g.num_nodes()) {
+    err << "error: --root " << opt.root << " out of range (network has "
+        << g.num_nodes() << " nodes)\n";
+    return 2;
+  }
+
+  trace::TraceRecorder rec;
+  GtdOptions gopt;
+  gopt.protocol = runner::make_engine_config(opt.config).protocol;
+  gopt.num_threads = opt.spans ? 1 : opt.threads;
+  gopt.max_ticks = opt.max_ticks;
+  gopt.trace = &rec;
+  if (opt.spans) gopt.observer = &rec;
+  for (const runner::FaultScenario& sc : opt.scenarios) {
+    if (sc.kind == runner::FaultScenario::Kind::kBudget) {
+      gopt.max_ticks = gopt.max_ticks > 0 ? std::min(gopt.max_ticks, sc.at)
+                                          : sc.at;
+    } else if (sc.is_injection()) {
+      gopt.injections.push_back(
+          runner::make_injection(g, opt.spec.seed, sc));
+    }
+  }
+
+  std::string failure;
+  RunStatus status = RunStatus::kTickBudget;
+  Tick ticks = 0;
+  try {
+    const GtdResult res = run_gtd(g, opt.root, gopt);
+    status = res.status;
+    ticks = res.stats.ticks;
+  } catch (const Error& e) {
+    // A protocol violation is a legitimate thing to record: the partial
+    // trace (no terminal record) is the post-mortem artifact.
+    failure = e.what();
+  }
+
+  const trace::RecordedTrace recorded = rec.take();
+  with_output(opt.out, out, [&](std::ostream& os) {
+    trace::write_trace(os, recorded);
+  });
+
+  if (!opt.out.empty() && opt.out != "-") {
+    out << "Recorded '" << label << "' (" << recorded.events.size()
+        << " events";
+    if (failure.empty()) {
+      out << ", " << ticks << " ticks, "
+          << (status == RunStatus::kTerminated ? "terminated" : "tick budget")
+          << ") to " << opt.out << "\n";
+    } else {
+      out << ", violation trace) to " << opt.out << "\n";
+    }
+  }
+  if (!failure.empty()) {
+    err << "error: run died in a protocol violation (trace kept): " << failure
+        << "\n";
+    return 1;
+  }
+  return status == RunStatus::kTerminated ? 0 : 1;
+}
+
+int inspect_command(const TraceOptions& opt, std::ostream& out,
+                    std::ostream& err) {
+  const trace::RecordedTrace t = load_trace(opt.trace_file);
+  const PortGraph& g = t.header.graph;
+
+  out << "Trace " << opt.trace_file << " (format v"
+      << static_cast<int>(t.header.version) << "): " << g.num_nodes()
+      << " processors, " << g.num_wires() << " wires, delta="
+      << static_cast<int>(g.delta()) << ", root=" << t.header.root
+      << ", delays=" << t.header.config.snake_delay << "/"
+      << t.header.config.loop_delay << "/" << t.header.config.token_delay
+      << "\n";
+
+  std::map<trace::TraceEventKind, std::size_t> counts;
+  for (const trace::TraceEvent& ev : t.events) ++counts[ev.kind];
+  out << t.events.size() << " events";
+  for (const auto& [kind, n] : counts) {
+    out << ", " << to_cstr(kind) << "=" << n;
+  }
+  out << "\n";
+
+  if (t.events.empty()) {
+    out << "(empty trace)\n";
+    return 0;
+  }
+  const trace::TraceEvent& last = t.events.back();
+  if (last.kind == trace::TraceEventKind::kRunEnd) {
+    out << "Run ended at tick " << last.tick << " ("
+        << (last.a == static_cast<std::uint32_t>(RunStatus::kTerminated)
+                ? "terminated"
+                : "tick budget exhausted")
+        << ")\n";
+  } else {
+    out << "No run-end record: the run died mid-tick (violation trace); "
+           "last event at tick "
+        << last.tick << "\n";
+  }
+  // Span derivation doubles as a serialization audit and hard-fails on
+  // overlapping spans — which a trace of a *faulted* run can legitimately
+  // contain. Inspecting broken traces is this tool's whole point, so note
+  // the inconsistency instead of dying on it.
+  try {
+    const trace::SpanCollector spans = trace::collect_spans(t.events);
+    if (!spans.rca().empty() || !spans.bca().empty()) {
+      out << spans.rca().size() << " RCA spans, " << spans.bca().size()
+          << " BCA spans, " << spans.erasures().size() << " erasures\n";
+    }
+  } catch (const Error& e) {
+    out << "Span stream inconsistent (protocol serialization violated): "
+        << e.what() << "\n";
+  }
+
+  if (!opt.summary) {
+    const std::uint64_t begin = std::min<std::uint64_t>(opt.start,
+                                                        t.events.size());
+    std::uint64_t end = t.events.size();
+    if (opt.max_events > 0 && begin + opt.max_events < end) {
+      end = begin + opt.max_events;
+    }
+    for (std::uint64_t i = begin; i < end; ++i) {
+      out << "  [" << i << "] " << to_string(t.events[i]) << "\n";
+    }
+    if (end < t.events.size()) {
+      out << "  ... " << (t.events.size() - end) << " more events\n";
+    }
+  }
+  (void)err;
+  return 0;
+}
+
+int diff_command(const TraceOptions& opt, std::ostream& out,
+                 std::ostream& err) {
+  const trace::RecordedTrace a = load_trace(opt.trace_file);
+  const trace::RecordedTrace b = load_trace(opt.trace_b);
+  const trace::TraceDiff d = trace::diff_traces(a, b);
+  out << d.detail << "\n";
+  (void)err;
+  return d.identical ? 0 : 1;
+}
+
+int replay_command(const TraceOptions& opt, std::ostream& out,
+                   std::ostream& err) {
+  const trace::RecordedTrace t = load_trace(opt.trace_file);
+  const ReplayResult r = replay_gtd(t, opt.threads);
+  if (r.ok) {
+    out << "Replay OK: " << t.events.size()
+        << " events reproduced byte-identically (" << r.stats.ticks
+        << " ticks)\n";
+    return 0;
+  }
+  err << "replay FAILED: " << r.detail << "\n";
+  return 1;
+}
+
+}  // namespace
+
+TraceOptions parse_trace_args(const std::vector<std::string>& args) {
+  TraceOptions opt;
+  if (args.empty() || args[0].rfind("--", 0) == 0) {
+    throw UsageError("'trace' needs an action: record, inspect, diff, replay");
+  }
+  opt.action = args[0];
+  if (opt.action != "record" && opt.action != "inspect" &&
+      opt.action != "diff" && opt.action != "replay") {
+    throw UsageError("unknown trace action '" + opt.action +
+                     "' (known: record inspect diff replay)");
+  }
+
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  FlagWalker w(rest);
+  while (w.next()) {
+    const std::string& f = w.flag();
+    if (opt.action == "record" && parse_spec_flag(w, opt.spec)) continue;
+    if (opt.action == "record" && f == "--root") {
+      opt.root = parse_int_as<NodeId>(f, w.value());
+    } else if (f == "--threads" &&
+               (opt.action == "record" || opt.action == "replay")) {
+      opt.threads = parse_int_as<int>(f, w.value());
+      if (opt.threads < 1) throw UsageError("--threads must be >= 1");
+    } else if (opt.action == "record" && f == "--max-ticks") {
+      opt.max_ticks = parse_int_as<std::int64_t>(f, w.value());
+    } else if (opt.action == "record" && f == "--config") {
+      opt.config = w.value();
+      try {
+        (void)runner::make_engine_config(opt.config);
+      } catch (const runner::SpecError& e) {
+        throw UsageError(std::string(e.what()));
+      }
+    } else if (opt.action == "record" && f == "--scenario") {
+      try {
+        const runner::FaultScenario sc = runner::make_scenario(w.value());
+        if (sc.kind != runner::FaultScenario::Kind::kNone) {
+          opt.scenarios.push_back(sc);
+        }
+      } catch (const runner::SpecError& e) {
+        throw UsageError(std::string(e.what()));
+      }
+    } else if (opt.action == "record" && f == "--spans") {
+      opt.spans = true;
+    } else if (opt.action == "record" && f == "--out") {
+      opt.out = w.value();
+    } else if (opt.action != "record" && opt.action != "diff" &&
+               f == "--trace") {
+      opt.trace_file = w.value();
+    } else if (opt.action == "diff" && f == "--a") {
+      opt.trace_file = w.value();
+    } else if (opt.action == "diff" && f == "--b") {
+      opt.trace_b = w.value();
+    } else if (opt.action == "inspect" && f == "--start") {
+      opt.start = parse_u64(f, w.value());
+    } else if (opt.action == "inspect" && f == "--max") {
+      opt.max_events = parse_u64(f, w.value());
+    } else if (opt.action == "inspect" && f == "--summary") {
+      opt.summary = true;
+    } else {
+      throw UsageError("unknown flag '" + f + "' for 'trace " + opt.action +
+                       "'");
+    }
+  }
+
+  if (opt.action == "record") {
+    check_spec(opt.spec);
+    if (opt.out.empty()) {
+      throw UsageError("'trace record' needs --out <file>");
+    }
+    if (opt.spans && opt.threads > 1) {
+      throw UsageError("--spans requires --threads 1 (protocol observers "
+                       "are single-threaded)");
+    }
+  } else if (opt.action == "diff") {
+    if (opt.trace_file.empty() || opt.trace_b.empty()) {
+      throw UsageError("'trace diff' needs --a <file> and --b <file>");
+    }
+  } else if (opt.trace_file.empty()) {
+    throw UsageError("'trace " + opt.action + "' needs --trace <file>");
+  }
+  return opt;
+}
+
+int trace_command(const TraceOptions& opt, std::ostream& out,
+                  std::ostream& err) {
+  if (opt.action == "record") return record_command(opt, out, err);
+  if (opt.action == "inspect") return inspect_command(opt, out, err);
+  if (opt.action == "diff") return diff_command(opt, out, err);
+  return replay_command(opt, out, err);
+}
+
+}  // namespace dtop::cli

@@ -1,5 +1,7 @@
 #include "core/gtd.hpp"
 
+#include <algorithm>
+
 namespace dtop {
 
 Tick default_tick_budget(const PortGraph& g) {
@@ -42,10 +44,36 @@ GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt) {
   cfg.observer = opt.observer;
 
   GtdEngine engine(g, root, cfg, opt.num_threads);
+  if (opt.trace) {
+    opt.trace->begin(g, root, opt.protocol);
+    engine.set_trace_sink(opt.trace);
+    result.transcript.set_tap(opt.trace);
+  }
   engine.schedule(root);
 
+  // Injections fire when the engine clock reads their tick (delivery at
+  // tick + 1), interleaved with stepping; a stable sort keeps same-tick
+  // injections in caller order.
+  std::vector<trace::TraceInjection> injections = opt.injections;
+  std::stable_sort(injections.begin(), injections.end(),
+                   [](const trace::TraceInjection& x,
+                      const trace::TraceInjection& y) { return x.at < y.at; });
+  std::size_t next_inj = 0;
+
   const Tick budget = opt.max_ticks > 0 ? opt.max_ticks : default_tick_budget(g);
-  result.status = engine.run(budget);
+  while (engine.now() < budget) {
+    while (next_inj < injections.size() &&
+           injections[next_inj].at == engine.now()) {
+      engine.inject(injections[next_inj].wire, injections[next_inj].rogue);
+      ++next_inj;
+      ++result.injections_applied;
+    }
+    engine.step();
+    if (engine.machine(root).terminated()) {
+      result.status = RunStatus::kTerminated;
+      break;
+    }
+  }
   result.stats = engine.stats();
 
   MapBuilder builder(g.delta());
@@ -61,6 +89,15 @@ GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt) {
     // drain before auditing.
     for (int i = 0; i < 8; ++i) engine.step();
     result.end_state_clean = end_state_clean(engine);
+  }
+
+  // Seal the recording; the drain steps above are part of the trace, so a
+  // replay reproduces them too. (On a protocol violation an exception has
+  // already unwound past this point and the recorder keeps its partial
+  // stream — that, plus never reaching finish(), is the trace of a crash.)
+  if (opt.trace) {
+    result.transcript.set_tap(nullptr);
+    opt.trace->finish(engine.now(), result.status);
   }
 
   return result;

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/map_builder.hpp"
 #include "core/topology_map.hpp"
 #include "graph/port_graph.hpp"
 #include "proto/gtd_machine.hpp"
 #include "sim/engine.hpp"
+#include "trace/recorder.hpp"
 
 namespace dtop {
 
@@ -26,6 +28,23 @@ struct GtdOptions {
   Tick max_ticks = 0;
   ProtoObserver* observer = nullptr;  // requires num_threads == 1
   bool audit_end_state = true;        // check Lemma 4.2 pristineness
+
+  // Trace-surgery edits: each injection places its rogue character in
+  // flight when the engine clock reads `at`. This is the one perturbation
+  // path shared by the runner's fault scenarios, the fault tests, and
+  // replayed traces; injections past the run's end are counted in
+  // GtdResult::injections_applied (a run that ends first must not be read
+  // as having survived the fault).
+  std::vector<trace::TraceInjection> injections;
+
+  // When set, the full run is recorded: begin() is called with the run's
+  // identity, every engine/transcript event is captured, and finish() seals
+  // the trace — unless the run dies in a protocol violation, in which case
+  // the recorder keeps the partial event stream for post-mortem. Recording
+  // is bit-identical at any num_threads. To also capture RCA/BCA span
+  // events, pass the same recorder as `observer` (single-threaded only; the
+  // trace then becomes thread-count specific).
+  trace::TraceRecorder* trace = nullptr;
 };
 
 struct GtdResult {
@@ -36,6 +55,7 @@ struct GtdResult {
   std::vector<RcaRecord> records;
   bool map_complete = false;   // transcript reached kTerminated cleanly
   bool end_state_clean = false;  // all machines pristine, no wires busy
+  std::size_t injections_applied = 0;  // how many injections actually fired
 };
 
 // Conservative upper bound on the protocol's running time for the given
@@ -49,5 +69,33 @@ using GtdEngine = SyncEngine<GtdMachine>;
 // End-state audit helper shared by run_gtd and the tests: every machine
 // pristine (no protocol residue), every wire silent, every DFS finished.
 bool end_state_clean(GtdEngine& engine);
+
+// --- replay (core/replay.cpp) --------------------------------------------
+
+// Outcome of re-executing a recorded trace. `ok` means the re-execution
+// reproduced the recorded event stream exactly — same events, same order,
+// same final status; anything else is a divergence, pinpointed by the first
+// mismatching event.
+struct ReplayResult {
+  bool ok = false;
+  bool diverged = false;       // a produced event mismatched the recording
+  std::size_t event_index = 0;  // first divergent event (valid if diverged)
+  Tick tick = 0;                // its tick
+  std::string detail;           // human-readable explanation ("" when ok)
+
+  // The re-executed run's artifacts (always filled as far as the replay
+  // got): transcript-derived map and engine stats, for post-mortem use.
+  EngineStats stats;
+  Transcript transcript;
+};
+
+// Re-executes the run a trace describes — same network, root, protocol
+// config, schedules, and injections, all taken from the trace itself — and
+// hard-fails on the first divergence from the recorded stream. The engine
+// being deterministic, a divergence means either the trace was perturbed or
+// the code changed behaviour; both are exactly what replay exists to catch.
+// A trace without a terminal kRunEnd records a run that died in a protocol
+// violation: replay then expects to reproduce that violation.
+ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads = 1);
 
 }  // namespace dtop

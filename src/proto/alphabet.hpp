@@ -98,6 +98,8 @@ struct Character {
       if (d) return false;
     return !kill && !bkill && !rloop && !bloop && !dfs;
   }
+
+  bool operator==(const Character&) const = default;
 };
 
 static_assert(std::is_trivially_copyable_v<Character>,
@@ -114,6 +116,8 @@ struct ProtocolConfig {
   int snake_delay = 2;
   int loop_delay = 2;
   int token_delay = 0;
+
+  bool operator==(const ProtocolConfig&) const = default;
 };
 
 inline GrowKind grow_kind(int i) { return static_cast<GrowKind>(i); }

@@ -1,7 +1,6 @@
 #include "runner/campaign.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <limits>
 #include <sstream>
 
@@ -13,44 +12,6 @@ namespace {
 // Per-item cap on range expansion; a typo like "1..1000000000" should fail
 // loudly instead of allocating a billion-job matrix.
 constexpr std::uint64_t kMaxRangeItems = 65536;
-
-std::uint64_t parse_u64_token(const std::string& flag,
-                              const std::string& token) {
-  std::uint64_t v = 0;
-  const char* begin = token.data();
-  const char* end = begin + token.size();
-  auto [ptr, ec] = std::from_chars(begin, end, v);
-  if (ec != std::errc() || ptr != end) {
-    throw SpecError(flag + " expects a non-negative integer, got '" + token +
-                    "'");
-  }
-  return v;
-}
-
-// Splits on commas and whitespace, dropping empty tokens.
-std::vector<std::string> tokenize(const std::string& text) {
-  std::vector<std::string> tokens;
-  std::string token;
-  for (const char c : text) {
-    if (c == ',' || c == ' ' || c == '\t') {
-      if (!token.empty()) tokens.push_back(std::move(token));
-      token.clear();
-    } else {
-      token.push_back(c);
-    }
-  }
-  if (!token.empty()) tokens.push_back(std::move(token));
-  return tokens;
-}
-
-Tick parse_at_suffix(const std::string& text, std::size_t at_pos) {
-  const std::string num = text.substr(at_pos + 1);
-  const std::uint64_t v = parse_u64_token("scenario '" + text + "'", num);
-  if (v > static_cast<std::uint64_t>(std::numeric_limits<Tick>::max())) {
-    throw SpecError("scenario tick out of range in '" + text + "'");
-  }
-  return static_cast<Tick>(v);
-}
 
 }  // namespace
 
@@ -69,36 +30,6 @@ EngineConfig make_engine_config(const std::string& name) {
   }
   throw SpecError("unknown engine config '" + name +
                   "' (known: ratio1 ratio2 ratio3 ratio4)");
-}
-
-FaultScenario make_scenario(const std::string& text) {
-  FaultScenario sc;
-  sc.label = text;
-  if (text == "none") return sc;
-  const std::size_t at_pos = text.find('@');
-  if (at_pos != std::string::npos) {
-    const std::string kind = text.substr(0, at_pos);
-    sc.at = parse_at_suffix(text, at_pos);
-    if (kind == "budget") {
-      sc.kind = FaultScenario::Kind::kBudget;
-      if (sc.at < 1) throw SpecError("budget@T needs T >= 1");
-      return sc;
-    }
-    if (kind == "kill") {
-      sc.kind = FaultScenario::Kind::kKill;
-      return sc;
-    }
-    if (kind == "unmark") {
-      sc.kind = FaultScenario::Kind::kUnmark;
-      return sc;
-    }
-    if (kind == "dfs") {
-      sc.kind = FaultScenario::Kind::kDfs;
-      return sc;
-    }
-  }
-  throw SpecError("unknown scenario '" + text +
-                  "' (known: none budget@T kill@T unmark@T dfs@T)");
 }
 
 std::vector<std::string> parse_name_list(const std::string& text) {
@@ -229,10 +160,7 @@ CampaignSpec parse_spec_text(const std::string& text) {
         spec.configs.push_back(make_engine_config(name));
       }
     } else if (key == "scenarios") {
-      spec.scenarios.clear();
-      for (const std::string& name : parse_name_list(value)) {
-        spec.scenarios.push_back(make_scenario(name));
-      }
+      spec.scenarios = parse_scenario_list(value);
     } else if (key == "root") {
       const auto tokens = tokenize(value);
       const std::uint64_t v =

@@ -21,16 +21,11 @@
 
 #include "graph/port_graph.hpp"
 #include "proto/alphabet.hpp"
+#include "runner/scenario.hpp"
 #include "sim/machine.hpp"
 #include "support/error.hpp"
 
 namespace dtop::runner {
-
-// Thrown on malformed spec strings/files (unknown family, bad range, ...).
-class SpecError : public Error {
- public:
-  explicit SpecError(std::string what) : Error(std::move(what)) {}
-};
 
 // A named protocol configuration. The presets expose the E9 ablation axis:
 // `ratioK` runs snakes at a K:1 cleanup-to-snake speed ratio (the paper's
@@ -46,27 +41,8 @@ struct EngineConfig {
 // Accepts "ratio1".."ratio4"; throws SpecError otherwise.
 EngineConfig make_engine_config(const std::string& name);
 
-// A fault applied to one job. `kBudget` caps the tick budget (forcing a
-// clean per-job kTickBudget failure); the injection kinds place one rogue
-// character on a seed-chosen wire at tick `at`, reproducing the fail-loud
-// scenarios of tests/test_faults.cpp at campaign scale.
-struct FaultScenario {
-  enum class Kind : std::uint8_t {
-    kNone,    // run the protocol unmolested
-    kBudget,  // cap the tick budget at `at`
-    kKill,    // inject a rogue KILL flood character
-    kUnmark,  // inject a rogue UNMARK loop token
-    kDfs,     // inject a duplicate DFS token
-  };
-  Kind kind = Kind::kNone;
-  Tick at = 0;  // budget cap, or injection tick
-  std::string label = "none";
-
-  bool operator==(const FaultScenario&) const = default;
-};
-
-// Accepts "none", "budget@T", "kill@T", "unmark@T", "dfs@T".
-FaultScenario make_scenario(const std::string& text);
+// The fault-scenario grammar (FaultScenario, make_scenario,
+// parse_scenario_list) lives in runner/scenario.hpp, shared with the CLI.
 
 struct CampaignSpec {
   std::vector<std::string> families = {"torus"};

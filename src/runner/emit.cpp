@@ -105,6 +105,9 @@ void write_json(std::ostream& os, const CampaignResult& result,
        << ", \"messages\": " << j.messages
        << ", \"node_steps\": " << j.node_steps;
     if (opt.timing) os << ", \"wall_ms\": " << format_ms(j.wall_ms);
+    if (!j.trace_file.empty()) {
+      os << ", \"trace\": \"" << json_escape(j.trace_file) << '"';
+    }
     os << ", \"detail\": \"" << json_escape(j.detail) << "\"}";
   }
   os << "\n  ],\n  \"summary\": {\"jobs\": " << result.jobs.size()

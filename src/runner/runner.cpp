@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
 
 #include "core/gtd.hpp"
@@ -10,78 +11,52 @@
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
 #include "sim/thread_pool.hpp"
-#include "support/rng.hpp"
+#include "trace/trace_io.hpp"
 
 namespace dtop::runner {
 namespace {
 
-Character rogue_character(FaultScenario::Kind kind) {
-  Character c;
-  switch (kind) {
-    case FaultScenario::Kind::kKill:
-      c.kill = true;
-      break;
-    case FaultScenario::Kind::kUnmark:
-      c.rloop = RcaToken{RcaToken::Kind::kUnmark, kNoPort, kNoPort};
-      break;
-    case FaultScenario::Kind::kDfs:
-      c.dfs = DfsToken{0, kStarPort};
-      break;
-    default:
-      unreachable("rogue_character: not an injection scenario");
+// The GtdOptions a job expands to. Every scenario — including the fault
+// kinds — goes through the one shared path: budget scenarios cap the tick
+// budget, injection scenarios become trace-surgery edits applied through
+// the engine's injection hook inside run_gtd.
+GtdOptions job_options(const JobSpec& job, const PortGraph& g) {
+  GtdOptions opt;
+  opt.protocol = job.config.protocol;
+  opt.max_ticks = job.scenario.kind == FaultScenario::Kind::kBudget
+                      ? job.scenario.at
+                      : job.max_ticks;
+  if (job.scenario.is_injection()) {
+    opt.injections.push_back(make_injection(g, job.seed, job.scenario));
   }
-  return c;
+  return opt;
 }
 
-// run_gtd with a one-shot rogue-character injection — the same tick loop,
-// map build, and end-state audit, so a "none"-scenario job through run_gtd
-// and an injection job that happens to be harmless are directly comparable.
-// `*injected` reports whether the injection tick was actually reached; a
-// run that ends first must not be read as "survived the fault".
-GtdResult run_gtd_injected(const PortGraph& g, const JobSpec& job,
-                           bool* injected) {
-  GtdResult result;
-  GtdMachine::Config cfg;
-  cfg.protocol = job.config.protocol;
-  cfg.transcript = &result.transcript;
-
-  GtdEngine engine(g, job.root, cfg, /*num_threads=*/1);
-  engine.schedule(job.root);
-
-  // The injected wire is a deterministic function of the job's seed and the
-  // injection tick — never of thread count or completion order.
-  const std::vector<WireId> wires = g.wire_ids();
-  Rng rng(0x6a09e667f3bcc908ULL ^ (job.seed * 0x9e3779b97f4a7c15ULL) ^
-          static_cast<std::uint64_t>(job.scenario.at));
-  const WireId wire = wires[rng.next_below(wires.size())];
-  const Character rogue = rogue_character(job.scenario.kind);
-
-  const Tick budget =
-      job.max_ticks > 0 ? job.max_ticks : default_tick_budget(g);
-  while (engine.now() < budget) {
-    if (engine.now() == job.scenario.at) {
-      engine.inject(wire, rogue);
-      *injected = true;
-    }
-    engine.step();
-    if (engine.machine(job.root).terminated()) {
-      result.status = RunStatus::kTerminated;
-      break;
-    }
+// Re-executes a failed job with a recorder attached and writes the capture
+// next to the campaign results. Jobs are deterministic, so the re-run
+// reproduces the failure — including a mid-run protocol violation, whose
+// partial trace is written without a terminal record.
+void capture_failure_trace(const JobSpec& job, const PortGraph& g,
+                           const std::string& trace_dir, JobResult& r) {
+  trace::TraceRecorder rec;
+  GtdOptions opt = job_options(job, g);
+  opt.trace = &rec;
+  try {
+    (void)run_gtd(g, job.root, opt);
+  } catch (const std::exception&) {
+    // Expected for violation jobs; the recorder keeps the partial stream.
   }
-  result.stats = engine.stats();
-
-  MapBuilder builder(g.delta());
-  builder.consume_all(result.transcript);
-  result.map_complete = builder.complete();
-  result.map = builder.map();
-  result.records = builder.records();
-
-  if (result.status == RunStatus::kTerminated) {
-    for (int i = 0; i < 8; ++i) engine.step();
-    result.end_state_clean = end_state_clean(engine);
+  if (!rec.started()) return;
+  const std::string path =
+      trace_dir + "/job-" + std::to_string(job.index) + ".dtrace";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    r.detail += (r.detail.empty() ? "" : "; ");
+    r.detail += "trace capture failed: cannot open " + path;
+    return;
   }
-  return result;
+  trace::write_trace(out, rec.take());
+  r.trace_file = path;
 }
 
 }  // namespace
@@ -104,13 +79,16 @@ std::size_t CampaignResult::failed() const {
   return n;
 }
 
-JobResult run_job(const JobSpec& job) {
+JobResult run_job(const JobSpec& job, const std::string& trace_dir) {
   JobResult r;
   r.spec = job;
   const auto t0 = std::chrono::steady_clock::now();
+  bool graph_ready = false;
+  PortGraph g{1, 1};
   try {
     FamilyInstance fi = make_family(job.family, job.nodes, job.seed);
-    const PortGraph& g = fi.graph;
+    g = std::move(fi.graph);
+    graph_ready = true;
     r.label = fi.label;
     r.n = g.num_nodes();
     r.d = diameter(g);
@@ -119,24 +97,9 @@ JobResult run_job(const JobSpec& job) {
                  "root " + std::to_string(job.root) + " out of range for " +
                      fi.label);
 
-    GtdResult res;
-    bool injected = true;
-    switch (job.scenario.kind) {
-      case FaultScenario::Kind::kNone:
-      case FaultScenario::Kind::kBudget: {
-        GtdOptions opt;
-        opt.protocol = job.config.protocol;
-        opt.max_ticks = job.scenario.kind == FaultScenario::Kind::kBudget
-                            ? job.scenario.at
-                            : job.max_ticks;
-        res = run_gtd(g, job.root, opt);
-        break;
-      }
-      default:
-        injected = false;
-        res = run_gtd_injected(g, job, &injected);
-        break;
-    }
+    const GtdResult res = run_gtd(g, job.root, job_options(job, g));
+    const bool injected =
+        !job.scenario.is_injection() || res.injections_applied > 0;
 
     r.ticks = res.stats.ticks;
     r.messages = res.stats.messages;
@@ -172,6 +135,9 @@ JobResult run_job(const JobSpec& job) {
     r.status = JobStatus::kViolation;
     r.detail = e.what();
   }
+  if (!r.ok() && !trace_dir.empty() && graph_ready) {
+    capture_failure_trace(job, g, trace_dir, r);
+  }
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
@@ -198,7 +164,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      out.jobs[i] = run_job(jobs[i]);  // never throws: failures land in it
+      // Never throws: failures land in the result.
+      out.jobs[i] = run_job(jobs[i], opt.trace_dir);
       if (opt.progress) {
         std::lock_guard<std::mutex> lock(mu);
         opt.progress(out.jobs[i], ++done, jobs.size());

@@ -42,6 +42,7 @@ struct JobResult {
   std::uint64_t messages = 0;
   std::uint64_t node_steps = 0;
   double wall_ms = 0.0;  // wall clock; excluded from deterministic emits
+  std::string trace_file;  // post-mortem trace, when capture was requested
 
   bool ok() const { return status == JobStatus::kExact; }
 };
@@ -59,10 +60,19 @@ struct RunnerOptions {
   // Invoked (serialized) as each job finishes, in completion order:
   // (result, jobs finished so far, total jobs). May write to a stream.
   std::function<void(const JobResult&, std::size_t, std::size_t)> progress;
+  // When non-empty: every job that fails (mismatch, violation, or budget
+  // exhaustion) is deterministically re-executed with a trace recorder
+  // attached and the capture is written to `<trace_dir>/job-<index>.dtrace`
+  // (JobResult::trace_file). The directory must exist. Jobs are pure
+  // functions of their spec, so the re-run reproduces the failure exactly;
+  // the trace can then be inspected, diffed, and replayed with
+  // `dtopctl trace`.
+  std::string trace_dir;
 };
 
 // Executes one job. Never throws: every failure mode lands in the result.
-JobResult run_job(const JobSpec& job);
+// `trace_dir` as in RunnerOptions.
+JobResult run_job(const JobSpec& job, const std::string& trace_dir = {});
 
 // Expands and executes the whole campaign.
 CampaignResult run_campaign(const CampaignSpec& spec,

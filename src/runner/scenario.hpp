@@ -1,0 +1,75 @@
+// The fault-scenario grammar and its mapping onto trace-surgery edits.
+//
+// This is the single parser for scenario strings — `none`, `budget@T`,
+// `kill@T`, `unmark@T`, `dfs@T` — shared by the campaign spec files
+// (src/runner/campaign.cpp), `dtopctl sweep --scenarios`, and
+// `dtopctl trace record --scenario`. A parsed injection scenario is turned
+// into a concrete TraceInjection by make_injection(): the injected wire is
+// a deterministic function of (seed, tick) alone, never of thread count or
+// completion order, so a faulted job is as reproducible as a clean one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "trace/trace_event.hpp"
+
+namespace dtop::runner {
+
+// Thrown on malformed spec strings/files (unknown scenario, bad range, ...).
+class SpecError : public Error {
+ public:
+  explicit SpecError(std::string what) : Error(std::move(what)) {}
+};
+
+// Shared token grammar: splits on commas and whitespace, dropping empties.
+std::vector<std::string> tokenize(const std::string& text);
+
+// Parses one non-negative integer token; `flag` names the source in errors.
+std::uint64_t parse_u64_token(const std::string& flag,
+                              const std::string& token);
+
+// A fault applied to one job. `kBudget` caps the tick budget (forcing a
+// clean per-job kTickBudget failure); the injection kinds place one rogue
+// character on a seed-chosen wire at tick `at`, reproducing the fail-loud
+// scenarios of tests/test_faults.cpp at campaign scale.
+struct FaultScenario {
+  enum class Kind : std::uint8_t {
+    kNone,    // run the protocol unmolested
+    kBudget,  // cap the tick budget at `at`
+    kKill,    // inject a rogue KILL flood character
+    kUnmark,  // inject a rogue UNMARK loop token
+    kDfs,     // inject a duplicate DFS token
+  };
+  Kind kind = Kind::kNone;
+  Tick at = 0;  // budget cap, or injection tick
+  std::string label = "none";
+
+  bool operator==(const FaultScenario&) const = default;
+
+  bool is_injection() const {
+    return kind == Kind::kKill || kind == Kind::kUnmark || kind == Kind::kDfs;
+  }
+};
+
+// Accepts "none", "budget@T", "kill@T", "unmark@T", "dfs@T".
+FaultScenario make_scenario(const std::string& text);
+
+// Tokenizes and parses a scenario list ("none, kill@40 dfs@200").
+std::vector<FaultScenario> parse_scenario_list(const std::string& text);
+
+// The rogue character an injection scenario places on the wire. Requires
+// scenario.is_injection().
+Character rogue_character(FaultScenario::Kind kind);
+
+// Expresses an injection scenario as a trace-surgery edit on graph `g`: the
+// wire is drawn from an RNG derived from (seed, scenario.at). Requires
+// scenario.is_injection().
+trace::TraceInjection make_injection(const PortGraph& g, std::uint64_t seed,
+                                     const FaultScenario& scenario);
+
+}  // namespace dtop::runner

@@ -23,6 +23,7 @@
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/thread_pool.hpp"
+#include "sim/trace_sink.hpp"
 #include "support/error.hpp"
 
 namespace dtop {
@@ -118,8 +119,13 @@ class SyncEngine {
   // out-of-band initiation signal to the root).
   void schedule(NodeId v) {
     DTOP_REQUIRE(v < machines_.size(), "schedule: bad node");
+    if (trace_) trace_->on_schedule(tick_, v);
     pending_.push_back(v);
   }
+
+  // Attaches (or detaches, with nullptr) the trace sink. Sink callbacks run
+  // sequentially on the stepping thread; see sim/trace_sink.hpp.
+  void set_trace_sink(EngineTraceSink<Message>* sink) { trace_ = sink; }
 
   // Invoked after every tick (sequentially); used by tests to audit global
   // invariants the protocol is supposed to maintain.
@@ -143,6 +149,7 @@ class SyncEngine {
   void inject(WireId w, const Message& m) {
     DTOP_REQUIRE(w < msgs_[next_].size() && targets_[w] != kNoNode,
                  "inject: bad wire");
+    if (trace_) trace_->on_inject(tick_, w, m, present_[next_][w] != 0);
     if (!present_[next_][w]) {
       present_[next_][w] = 1;
       next_dirty_.push_back(w);
@@ -197,12 +204,25 @@ class SyncEngine {
       thread_msgs_[0] = msgs;
     }
 
-    // Merge thread-local effects (deterministic: sums and set-unions).
+    // Trace the tick's node activations before merging effects; active-set
+    // order is itself a deterministic function of the previous merges.
+    if (trace_) {
+      for (std::size_t i = 0; i < count; ++i) trace_->on_step(tick_, active_[i]);
+    }
+
+    // Merge thread-local effects (deterministic: sums and set-unions). Each
+    // thread handles a contiguous chunk of the active set, so concatenating
+    // the per-thread lists in thread order reproduces the order a sequential
+    // scan of `active_` would have produced — the trace emitted here is
+    // bit-identical at any thread count.
     for (auto& sched : thread_sched_) {
       pending_.insert(pending_.end(), sched.begin(), sched.end());
       sched.clear();
     }
     for (auto& dirty : thread_dirty_) {
+      if (trace_) {
+        for (WireId w : dirty) trace_->on_send(tick_, w, msgs_[next_][w]);
+      }
       next_dirty_.insert(next_dirty_.end(), dirty.begin(), dirty.end());
       dirty.clear();
     }
@@ -282,6 +302,7 @@ class SyncEngine {
   Tick tick_ = 0;
   EngineStats stats_;
   std::function<void(SyncEngine&)> observer_;
+  EngineTraceSink<Message>* trace_ = nullptr;
 };
 
 }  // namespace dtop

@@ -1,0 +1,47 @@
+// The engine's trace hook: a message-generic sink the engine notifies about
+// every externally observable event of a run — node activations, wire sends,
+// out-of-band schedules, and fault injections.
+//
+// The sink is invoked *sequentially* even on a multi-threaded engine: step
+// and send notifications are emitted after the tick's fork-join, walking the
+// merged per-thread effect lists in their deterministic merge order. A trace
+// captured at any thread count is therefore bit-identical (the same property
+// the engine already guarantees for wire state, extended to observation).
+// The hot path pays one pointer null-check per tick when no sink is
+// attached.
+//
+// The concrete protocol-aware implementation (binary encoding, recording,
+// replay) lives in src/trace; this header exists so the sim layer stays
+// ignorant of any particular message alphabet.
+#pragma once
+
+#include "graph/port_graph.hpp"
+#include "sim/machine.hpp"
+
+namespace dtop {
+
+template <typename Message>
+class EngineTraceSink {
+ public:
+  virtual ~EngineTraceSink() = default;
+
+  // An out-of-band schedule request (e.g. the root initiation nudge),
+  // observed at tick `now`; the node is stepped at `now + 1`.
+  virtual void on_schedule(Tick now, NodeId v) = 0;
+
+  // Node `v` was stepped during `tick`. Emitted in active-set order.
+  virtual void on_step(Tick tick, NodeId v) = 0;
+
+  // A non-blank character was staged on wire `w` during `tick` (readable at
+  // `tick + 1`). `m` is the final merged character, after every lane writer
+  // of the tick has filled its slot.
+  virtual void on_send(Tick tick, WireId w, const Message& m) = 0;
+
+  // A character was placed in flight on wire `w` through the fault-injection
+  // path at tick `now`. `overwrote` reports whether a staged character was
+  // already in flight (and has just been clobbered).
+  virtual void on_inject(Tick now, WireId w, const Message& m,
+                         bool overwrote) = 0;
+};
+
+}  // namespace dtop

@@ -37,6 +37,11 @@ class Table {
 
   void set_caption(std::string caption) { caption_ = std::move(caption); }
 
+  // Structured access for machine-readable emitters (bench JSON artifacts).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::string& caption() const { return caption_; }
+
   void print(std::ostream& os) const;
   std::string to_string() const;
 

@@ -1,0 +1,56 @@
+// Observer recording per-RCA / per-BCA spans from a live run.
+//
+// A thin adapter over the trace layer: each ProtoObserver callback is
+// converted to the corresponding trace event and fed through SpanCollector,
+// so the spans it reports are identical to those derived offline from a
+// recorded trace. (Moved here from proto/ when the unified trace subsystem
+// absorbed the span bookkeeping.)
+#pragma once
+
+#include "proto/observer.hpp"
+#include "trace/span_collector.hpp"
+
+namespace dtop {
+
+class DurationObserver : public ProtoObserver {
+ public:
+  using Span = trace::SpanCollector::Span;
+  using Erasure = trace::SpanCollector::Erasure;
+
+  void on_rca_start(NodeId node, Tick now, bool forward) override {
+    consume(trace::TraceEventKind::kRcaStart, node, now, forward ? 1 : 0);
+  }
+  void on_rca_complete(NodeId node, Tick now) override {
+    consume(trace::TraceEventKind::kRcaComplete, node, now);
+  }
+  void on_bca_start(NodeId node, Tick now) override {
+    consume(trace::TraceEventKind::kBcaStart, node, now);
+  }
+  void on_bca_complete(NodeId node, Tick now) override {
+    consume(trace::TraceEventKind::kBcaComplete, node, now);
+  }
+  void on_grow_erased(NodeId node, Tick now, bool bca_lane) override {
+    consume(trace::TraceEventKind::kGrowErased, node, now, bca_lane ? 1 : 0);
+  }
+
+  const std::vector<Span>& rca() const { return collector_.rca(); }
+  const std::vector<Span>& bca() const { return collector_.bca(); }
+  const std::vector<Erasure>& erasures() const {
+    return collector_.erasures();
+  }
+
+ private:
+  void consume(trace::TraceEventKind kind, NodeId node, Tick now,
+               std::uint8_t b = 0) {
+    trace::TraceEvent ev;
+    ev.kind = kind;
+    ev.tick = now;
+    ev.a = node;
+    ev.b = b;
+    collector_.consume(ev);
+  }
+
+  trace::SpanCollector collector_;
+};
+
+}  // namespace dtop

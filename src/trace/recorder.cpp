@@ -1,0 +1,124 @@
+#include "trace/recorder.hpp"
+
+namespace dtop::trace {
+
+void TraceRecorder::begin(const PortGraph& g, NodeId root,
+                          const ProtocolConfig& config) {
+  DTOP_REQUIRE(!started_, "TraceRecorder::begin called twice");
+  started_ = true;
+  header_.root = root;
+  header_.config = config;
+  header_.graph = g;
+}
+
+void TraceRecorder::finish(Tick final_tick, RunStatus status) {
+  DTOP_REQUIRE(started_ && !finished_, "TraceRecorder::finish out of order");
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kRunEnd;
+  ev.tick = final_tick;
+  ev.a = static_cast<std::uint32_t>(status);
+  push(ev);
+  finished_ = true;
+}
+
+const TraceHeader& TraceRecorder::header() const {
+  DTOP_REQUIRE(started_, "TraceRecorder: no header before begin()");
+  return header_;
+}
+
+RecordedTrace TraceRecorder::take() {
+  DTOP_REQUIRE(started_, "TraceRecorder: nothing recorded");
+  RecordedTrace out;
+  out.header = std::move(header_);
+  out.events = std::move(events_);
+  started_ = false;
+  finished_ = false;
+  header_ = TraceHeader{};
+  events_.clear();
+  return out;
+}
+
+void TraceRecorder::push(TraceEvent ev) {
+  DTOP_CHECK(started_ && !finished_,
+             "trace event outside the begin()..finish() window");
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::on_schedule(Tick now, NodeId v) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kSchedule;
+  ev.tick = now;
+  ev.a = v;
+  push(ev);
+}
+
+void TraceRecorder::on_step(Tick tick, NodeId v) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kNodeStep;
+  ev.tick = tick;
+  ev.a = v;
+  push(ev);
+}
+
+void TraceRecorder::on_send(Tick tick, WireId w, const Character& m) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kWireSend;
+  ev.tick = tick;
+  ev.a = w;
+  ev.payload = m;
+  push(ev);
+}
+
+void TraceRecorder::on_inject(Tick now, WireId w, const Character& m,
+                              bool overwrote) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kInject;
+  ev.tick = now;
+  ev.a = w;
+  ev.b = overwrote ? 1 : 0;
+  ev.payload = m;
+  push(ev);
+}
+
+void TraceRecorder::on_transcript(const TranscriptEvent& tev) {
+  push(make_root_event(tev));
+}
+
+namespace {
+TraceEvent span_event(TraceEventKind kind, NodeId node, Tick now,
+                      std::uint8_t b = 0) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.tick = now;
+  ev.a = node;
+  ev.b = b;
+  return ev;
+}
+}  // namespace
+
+void TraceRecorder::on_rca_start(NodeId node, Tick now, bool forward) {
+  push(span_event(TraceEventKind::kRcaStart, node, now, forward ? 1 : 0));
+}
+
+void TraceRecorder::on_rca_phase(NodeId node, Tick now, RcaPhase phase) {
+  push(span_event(TraceEventKind::kRcaPhase, node, now,
+                  static_cast<std::uint8_t>(phase)));
+}
+
+void TraceRecorder::on_rca_complete(NodeId node, Tick now) {
+  push(span_event(TraceEventKind::kRcaComplete, node, now));
+}
+
+void TraceRecorder::on_bca_start(NodeId node, Tick now) {
+  push(span_event(TraceEventKind::kBcaStart, node, now));
+}
+
+void TraceRecorder::on_bca_complete(NodeId node, Tick now) {
+  push(span_event(TraceEventKind::kBcaComplete, node, now));
+}
+
+void TraceRecorder::on_grow_erased(NodeId node, Tick now, bool bca_lane) {
+  push(span_event(TraceEventKind::kGrowErased, node, now, bca_lane ? 1 : 0));
+}
+
+}  // namespace dtop::trace

@@ -1,0 +1,87 @@
+// Derives per-RCA / per-BCA spans (and growing-state erasures) from a trace
+// event stream. Doubles as a serialization audit: the GTD protocol
+// guarantees at most one RCA and one BCA in flight at any time, so
+// overlapping spans are a hard error.
+//
+// This is the single home of the span bookkeeping: the live DurationObserver
+// (trace/duration_observer.hpp) and offline consumers of recorded traces
+// (`dtopctl trace inspect`) both feed their events through here, so a span
+// computed after the fact from a trace file is bit-for-bit the span a live
+// observer would have measured.
+#pragma once
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "trace/trace_event.hpp"
+
+namespace dtop::trace {
+
+class SpanCollector {
+ public:
+  struct Span {
+    NodeId node = kNoNode;
+    Tick start = 0, end = 0;
+    bool forward = false;
+
+    Tick duration() const { return end - start; }
+  };
+
+  struct Erasure {
+    NodeId node;
+    Tick tick;
+    bool bca_lane;
+  };
+
+  // Consumes one event; kinds without span semantics are ignored, so a full
+  // mixed trace can be streamed through unfiltered.
+  void consume(const TraceEvent& ev) {
+    switch (ev.kind) {
+      case TraceEventKind::kRcaStart:
+        DTOP_CHECK(!rca_open_, "overlapping RCAs observed");
+        rca_open_ = true;
+        rca_.push_back(Span{ev.a, ev.tick, 0, ev.b != 0});
+        break;
+      case TraceEventKind::kRcaComplete:
+        DTOP_CHECK(rca_open_ && !rca_.empty() && rca_.back().node == ev.a,
+                   "RCA completion without a start");
+        rca_open_ = false;
+        rca_.back().end = ev.tick;
+        break;
+      case TraceEventKind::kBcaStart:
+        DTOP_CHECK(!bca_open_, "overlapping BCAs observed");
+        bca_open_ = true;
+        bca_.push_back(Span{ev.a, ev.tick, 0, false});
+        break;
+      case TraceEventKind::kBcaComplete:
+        DTOP_CHECK(bca_open_ && !bca_.empty() && bca_.back().node == ev.a,
+                   "BCA completion without a start");
+        bca_open_ = false;
+        bca_.back().end = ev.tick;
+        break;
+      case TraceEventKind::kGrowErased:
+        erasures_.push_back(Erasure{ev.a, ev.tick, ev.b != 0});
+        break;
+      default:
+        break;
+    }
+  }
+
+  const std::vector<Span>& rca() const { return rca_; }
+  const std::vector<Span>& bca() const { return bca_; }
+  const std::vector<Erasure>& erasures() const { return erasures_; }
+
+ private:
+  std::vector<Span> rca_, bca_;
+  std::vector<Erasure> erasures_;
+  bool rca_open_ = false, bca_open_ = false;
+};
+
+// Streams every event of a recorded trace through a fresh collector.
+inline SpanCollector collect_spans(const std::vector<TraceEvent>& events) {
+  SpanCollector c;
+  for (const TraceEvent& ev : events) c.consume(ev);
+  return c;
+}
+
+}  // namespace dtop::trace

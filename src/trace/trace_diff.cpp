@@ -1,0 +1,42 @@
+#include "trace/trace_diff.hpp"
+
+#include <algorithm>
+
+namespace dtop::trace {
+
+TraceDiff diff_traces(const RecordedTrace& a, const RecordedTrace& b) {
+  TraceDiff d;
+  if (!(a.header == b.header)) {
+    d.detail = "headers differ (network, root, or protocol config)";
+    return d;
+  }
+  d.headers_match = true;
+
+  const std::size_t n = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.events[i] == b.events[i]) continue;
+    d.event_index = i;
+    d.tick = a.events[i].tick;
+    d.detail = "first divergence at event " + std::to_string(i) + " (tick " +
+               std::to_string(d.tick) + "): " + to_string(a.events[i]) +
+               "  vs  " + to_string(b.events[i]);
+    return d;
+  }
+  if (a.events.size() != b.events.size()) {
+    const bool a_longer = a.events.size() > b.events.size();
+    const RecordedTrace& longer = a_longer ? a : b;
+    d.event_index = n;
+    d.tick = longer.events[n].tick;
+    d.detail = "streams diverge at event " + std::to_string(n) + " (tick " +
+               std::to_string(d.tick) + "): " + (a_longer ? "A" : "B") +
+               " continues with " + to_string(longer.events[n]) + ", " +
+               (a_longer ? "B" : "A") + " has ended";
+    return d;
+  }
+  d.identical = true;
+  d.detail = "traces are identical (" + std::to_string(a.events.size()) +
+             " events)";
+  return d;
+}
+
+}  // namespace dtop::trace

@@ -1,0 +1,25 @@
+// Event-level comparison of two traces: pinpoints the first divergent
+// event (and therefore the first divergent tick) between two recordings of
+// what should be the same deterministic run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/trace_io.hpp"
+
+namespace dtop::trace {
+
+struct TraceDiff {
+  bool headers_match = false;
+  bool identical = false;
+  // First divergence, valid when !identical && headers_match: the index into
+  // the event streams and the tick of whichever event exists there.
+  std::size_t event_index = 0;
+  Tick tick = 0;
+  std::string detail;  // human-readable one-liner for CLI/log output
+};
+
+TraceDiff diff_traces(const RecordedTrace& a, const RecordedTrace& b);
+
+}  // namespace dtop::trace

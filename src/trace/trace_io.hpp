@@ -1,0 +1,111 @@
+// The dtop-trace binary format (version 1) and its streaming reader/writer.
+//
+// Layout (all multi-byte integers are LEB128 varints; single bytes are raw):
+//
+//   header:
+//     magic   "DTR1" (4 bytes)
+//     version u8 (= 1)
+//     root    varint
+//     delta   u8
+//     nodes   varint
+//     slots   varint                  wire-id space incl. tombstones
+//     per slot: u8 live? then         from varint, out_port u8,
+//               (live only)           to varint, in_port u8
+//     snake_delay / loop_delay / token_delay   varints
+//
+//   events, until EOF:
+//     kind       u8 (TraceEventKind)
+//     tick_delta varint               tick - previous event's tick
+//     fields per kind (see trace_event.hpp), characters encoded as a
+//     presence-bitmap varint followed by the bytes of each present lane
+//
+// The header embeds the full network, so a trace file is self-contained:
+// replay needs nothing but the file. Ticks are non-decreasing by
+// construction, which is what makes delta coding valid — the reader rejects
+// nothing else about ordering. A trace may end without a kRunEnd record:
+// that is the on-disk shape of a run that died mid-tick (protocol
+// violation), and the reader treats any event boundary as a clean EOF.
+// Truncation *inside* an event raises TraceError.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/port_graph.hpp"
+#include "support/error.hpp"
+#include "trace/trace_event.hpp"
+
+namespace dtop::trace {
+
+// Thrown on malformed trace bytes: bad magic, unknown version, truncated
+// event, out-of-range field.
+class TraceError : public Error {
+ public:
+  explicit TraceError(std::string what) : Error(std::move(what)) {}
+};
+
+inline constexpr char kTraceMagic[4] = {'D', 'T', 'R', '1'};
+inline constexpr std::uint8_t kTraceVersion = 1;
+
+struct TraceHeader {
+  std::uint8_t version = kTraceVersion;
+  NodeId root = 0;
+  ProtocolConfig config;
+  PortGraph graph{1, 1};
+
+  bool operator==(const TraceHeader&) const = default;
+};
+
+// A fully materialized trace: everything `dtopctl trace` subcommands and the
+// replay driver operate on.
+struct RecordedTrace {
+  TraceHeader header;
+  std::vector<TraceEvent> events;
+
+  bool operator==(const RecordedTrace&) const = default;
+};
+
+// Varint primitives, exposed for the format tests.
+void put_varint(std::string& out, std::uint64_t v);
+// Appends the encoded bytes of `v` to `os`.
+void write_varint(std::ostream& os, std::uint64_t v);
+// Reads one varint; throws TraceError on EOF or an over-long encoding.
+std::uint64_t read_varint(std::istream& is);
+
+// Character codec, exposed for the format tests.
+void write_character(std::ostream& os, const Character& c);
+Character read_character(std::istream& is);
+
+// Streaming writer: emits the header on construction, then one event per
+// write(). Events must arrive in non-decreasing tick order.
+class TraceWriter {
+ public:
+  TraceWriter(std::ostream& os, const TraceHeader& header);
+  void write(const TraceEvent& ev);
+
+ private:
+  std::ostream& os_;
+  Tick last_tick_ = 0;
+};
+
+// Streaming reader: parses and validates the header on construction, then
+// yields events until EOF. next() returns false at a clean end-of-stream.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& is);
+
+  const TraceHeader& header() const { return header_; }
+  bool next(TraceEvent& ev);
+
+ private:
+  std::istream& is_;
+  TraceHeader header_;
+  Tick last_tick_ = 0;
+};
+
+// Whole-trace convenience wrappers.
+void write_trace(std::ostream& os, const RecordedTrace& trace);
+RecordedTrace read_trace(std::istream& is);
+
+}  // namespace dtop::trace

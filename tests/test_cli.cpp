@@ -10,6 +10,7 @@
 #include "cli/cli.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
+#include "trace/trace_io.hpp"
 
 namespace dtop::cli {
 namespace {
@@ -395,6 +396,213 @@ TEST(CliMain, RunMissingGraphFileFailsCleanly) {
                      out, err),
             1);
   EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+// ------------------------------- trace -----------------------------------
+
+TEST(CliParse, TraceRecordFullFlagSet) {
+  const TraceOptions opt = parse_trace_args(
+      {"record", "--family", "torus", "--nodes", "9", "--seed", "3", "--root",
+       "1", "--threads", "4", "--max-ticks", "9000", "--config", "ratio2",
+       "--scenario", "kill@40", "--scenario", "dfs@10", "--out", "t.dtrace"});
+  EXPECT_EQ(opt.action, "record");
+  EXPECT_EQ(opt.spec.family, "torus");
+  EXPECT_EQ(opt.spec.seed, 3u);
+  EXPECT_EQ(opt.root, 1u);
+  EXPECT_EQ(opt.threads, 4);
+  EXPECT_EQ(opt.max_ticks, 9000);
+  EXPECT_EQ(opt.config, "ratio2");
+  ASSERT_EQ(opt.scenarios.size(), 2u);
+  EXPECT_EQ(opt.scenarios[0].label, "kill@40");
+  EXPECT_EQ(opt.out, "t.dtrace");
+}
+
+TEST(CliParse, TraceRejectsBadInvocations) {
+  EXPECT_THROW(parse_trace_args({}), UsageError);
+  EXPECT_THROW(parse_trace_args({"--trace", "x"}), UsageError);
+  EXPECT_THROW(parse_trace_args({"bogus"}), UsageError);
+  // record needs a graph source and --out
+  EXPECT_THROW(parse_trace_args({"record", "--family", "torus"}), UsageError);
+  EXPECT_THROW(parse_trace_args({"record", "--out", "t"}), UsageError);
+  // bad scenario / config are usage errors, not runtime errors
+  EXPECT_THROW(parse_trace_args({"record", "--family", "torus", "--out", "t",
+                                 "--scenario", "explode@5"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"record", "--family", "torus", "--out", "t",
+                                 "--config", "ratio9"}),
+               UsageError);
+  // --spans is single-threaded
+  EXPECT_THROW(parse_trace_args({"record", "--family", "torus", "--out", "t",
+                                 "--spans", "--threads", "2"}),
+               UsageError);
+  // inspect/replay need --trace, diff needs --a and --b
+  EXPECT_THROW(parse_trace_args({"inspect"}), UsageError);
+  EXPECT_THROW(parse_trace_args({"replay"}), UsageError);
+  EXPECT_THROW(parse_trace_args({"diff", "--a", "x"}), UsageError);
+  // per-action flags do not leak across actions
+  EXPECT_THROW(parse_trace_args({"inspect", "--trace", "x", "--out", "y"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"diff", "--a", "x", "--b", "y", "--trace",
+                                 "z"}),
+               UsageError);
+}
+
+TEST(CliMain, TraceRecordInspectReplayRoundTrip) {
+  const std::string path = temp_path("roundtrip.dtrace");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "torus", "--nodes", "9",
+                      "--out", path},
+                     out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("Recorded"), std::string::npos);
+
+  std::ostringstream iout, ierr;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", path, "--max", "5"},
+                     iout, ierr),
+            0);
+  EXPECT_NE(iout.str().find("9 processors"), std::string::npos);
+  EXPECT_NE(iout.str().find("terminated"), std::string::npos);
+  EXPECT_NE(iout.str().find("[0] t=0 schedule node=0"), std::string::npos);
+  EXPECT_NE(iout.str().find("more events"), std::string::npos);
+
+  std::ostringstream rout, rerr;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace", path}, rout, rerr), 0)
+      << rerr.str();
+  EXPECT_NE(rout.str().find("Replay OK"), std::string::npos);
+}
+
+TEST(CliMain, TraceDiffPinpointsPerturbedTick) {
+  const std::string a_path = temp_path("diff_a.dtrace");
+  const std::string b_path = temp_path("diff_b.dtrace");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "debruijn", "--nodes",
+                      "8", "--out", a_path},
+                     out, err),
+            0);
+
+  // Perturb one mid-run wire send and write the result as B.
+  trace::RecordedTrace t;
+  {
+    std::ifstream in(a_path, std::ios::binary);
+    t = trace::read_trace(in);
+  }
+  std::size_t victim = 0;
+  for (std::size_t i = t.events.size() / 2; i < t.events.size(); ++i) {
+    if (t.events[i].kind == trace::TraceEventKind::kWireSend) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_GT(victim, 0u);
+  t.events[victim].payload.kill = true;
+  {
+    std::ofstream os(b_path, std::ios::binary);
+    trace::write_trace(os, t);
+  }
+
+  // Identical traces diff clean (exit 0); the perturbed pair exits 1 and
+  // names the divergent event and tick.
+  std::ostringstream sout, serr;
+  EXPECT_EQ(cli_main({"trace", "diff", "--a", a_path, "--b", a_path}, sout,
+                     serr),
+            0);
+  EXPECT_NE(sout.str().find("identical"), std::string::npos);
+
+  std::ostringstream dout, derr;
+  EXPECT_EQ(cli_main({"trace", "diff", "--a", a_path, "--b", b_path}, dout,
+                     derr),
+            1);
+  const std::string expected = "event " + std::to_string(victim) + " (tick " +
+                               std::to_string(t.events[victim].tick) + ")";
+  EXPECT_NE(dout.str().find(expected), std::string::npos) << dout.str();
+
+  // The perturbed trace also fails replay, at the same tick.
+  std::ostringstream rout, rerr;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace", b_path}, rout, rerr), 1);
+  EXPECT_NE(rerr.str().find("tick " +
+                            std::to_string(t.events[victim].tick)),
+            std::string::npos)
+      << rerr.str();
+}
+
+TEST(CliMain, TraceRecordWithScenarioReplays) {
+  const std::string path = temp_path("scenario.dtrace");
+  std::ostringstream out, err;
+  // kill@40 wrecks the RCA in flight: the run fails (exit 1) but the trace
+  // is still written and must replay cleanly.
+  const int rc = cli_main({"trace", "record", "--family", "debruijn",
+                           "--nodes", "8", "--max-ticks", "4000",
+                           "--scenario", "kill@40", "--out", path},
+                          out, err);
+  EXPECT_EQ(rc, 1);
+  std::ostringstream iout, ierr;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", path, "--summary"},
+                     iout, ierr),
+            0);
+  EXPECT_NE(iout.str().find("inject=1"), std::string::npos) << iout.str();
+  std::ostringstream rout, rerr;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace", path}, rout, rerr), 0)
+      << rerr.str();
+}
+
+TEST(CliMain, TraceInspectSurvivesInconsistentSpanStreams) {
+  // A faulted --spans recording can contain overlapping spans; inspect must
+  // note the inconsistency, not die in the serialization audit.
+  trace::RecordedTrace t;
+  t.header.graph = directed_ring(4);
+  trace::TraceEvent ev;
+  ev.kind = trace::TraceEventKind::kRcaStart;
+  ev.tick = 1;
+  ev.a = 1;
+  t.events.push_back(ev);
+  ev.tick = 2;
+  ev.a = 2;
+  t.events.push_back(ev);  // second RCA start with the first still open
+
+  const std::string path = temp_path("bad_spans.dtrace");
+  {
+    std::ofstream os(path, std::ios::binary);
+    trace::write_trace(os, t);
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", path}, out, err), 0);
+  EXPECT_NE(out.str().find("Span stream inconsistent"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("[1]"), std::string::npos);  // listing still runs
+}
+
+TEST(CliMain, TraceMissingFileFailsCleanly) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace",
+                      temp_path("missing.dtrace")},
+                     out, err),
+            1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST(CliMain, SweepTraceDirCapturesFailedJobs) {
+  const std::string dir = ::testing::TempDir();
+  std::ostringstream out, err;
+  const int rc = cli_main({"sweep", "--families", "torus", "--sizes", "9",
+                           "--scenarios", "none,budget@50", "--format",
+                           "json", "--trace-dir", dir},
+                          out, err);
+  EXPECT_EQ(rc, 1);  // the budget job fails by design
+  EXPECT_NE(out.str().find("\"trace\": "), std::string::npos) << out.str();
+  EXPECT_NE(err.str().find("[trace: "), std::string::npos) << err.str();
+
+  // The capture replays.
+  const std::string json = out.str();
+  const std::size_t tag = json.find("\"trace\": \"");
+  ASSERT_NE(tag, std::string::npos);
+  const std::size_t begin = tag + 10;
+  const std::size_t end = json.find('"', begin);
+  const std::string trace_path = json.substr(begin, end - begin);
+  std::ostringstream rout, rerr;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace", trace_path}, rout, rerr),
+            0)
+      << rerr.str();
 }
 
 }  // namespace

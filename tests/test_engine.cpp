@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
+#include <vector>
 
 #include "graph/families.hpp"
 #include "sim/engine.hpp"
@@ -181,6 +183,168 @@ TEST(ThreadPool, ExceptionPropagates) {
 }
 
 TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool(0), Error); }
+
+// --- inject / wire introspection contract --------------------------------
+
+TEST(EngineInject, PlacesMessageInFlightAndSchedulesTarget) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  const WireId w = g.out_wire(2, 0);  // 2 -> 3
+
+  EXPECT_FALSE(e.wire_pending(w));
+  EXPECT_EQ(e.staged_message(w), nullptr);
+
+  HopMessage m;
+  m.hops = 5;
+  e.inject(w, m);
+  EXPECT_TRUE(e.wire_pending(w));
+  ASSERT_NE(e.staged_message(w), nullptr);
+  EXPECT_EQ(e.staged_message(w)->hops, 5);
+  EXPECT_EQ(e.stats().messages, 1u);
+
+  // Delivered at the next tick; the injection alone scheduled the target.
+  e.step();
+  EXPECT_EQ(e.machine(3).received(), 1);
+  EXPECT_EQ(e.machine(3).last_hops(), 5);
+  EXPECT_EQ(e.machine(1).received(), 0);
+}
+
+TEST(EngineInject, OverwriteInFlightKeepsOneMessage) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  const WireId w = g.out_wire(1, 0);  // 1 -> 2
+
+  HopMessage m;
+  m.hops = 5;
+  e.inject(w, m);
+  m.hops = 9;
+  e.inject(w, m);  // overwrites the character already in flight
+
+  // One character on the wire, the last payload wins, counted once.
+  EXPECT_TRUE(e.wire_pending(w));
+  ASSERT_NE(e.staged_message(w), nullptr);
+  EXPECT_EQ(e.staged_message(w)->hops, 9);
+  EXPECT_EQ(e.stats().messages, 1u);
+
+  e.step();
+  EXPECT_EQ(e.machine(2).received(), 1);
+  EXPECT_EQ(e.machine(2).last_hops(), 9);
+}
+
+TEST(EngineInject, OverwritesEngineStagedMessage) {
+  // The root stages hops=1 during tick 1; injecting on the same wire
+  // between ticks clobbers the staged character, not a copy.
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  const WireId w = g.out_wire(0, 0);  // 0 -> 1
+  e.schedule(0);
+  e.step();
+  ASSERT_TRUE(e.wire_pending(w));
+  EXPECT_EQ(e.staged_message(w)->hops, 1);
+  const std::uint64_t sent_before = e.stats().messages;
+
+  HopMessage m;
+  m.hops = 77;
+  e.inject(w, m);
+  EXPECT_EQ(e.stats().messages, sent_before);  // overwrite adds no message
+  e.step();
+  EXPECT_EQ(e.machine(1).received(), 1);
+  EXPECT_EQ(e.machine(1).last_hops(), 77);
+}
+
+TEST(EngineInject, StagedMessageWindowIsOneTick) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  const WireId w01 = g.out_wire(0, 0);
+  const WireId w12 = g.out_wire(1, 0);
+  e.schedule(0);
+  e.step();  // root stages on 0->1
+  EXPECT_TRUE(e.wire_pending(w01));
+  EXPECT_FALSE(e.wire_pending(w12));
+  e.step();  // 0->1 consumed; node 1 stages on 1->2
+  EXPECT_FALSE(e.wire_pending(w01));
+  EXPECT_EQ(e.staged_message(w01), nullptr);
+  EXPECT_TRUE(e.wire_pending(w12));
+  ASSERT_NE(e.staged_message(w12), nullptr);
+  EXPECT_EQ(e.staged_message(w12)->hops, 2);
+}
+
+TEST(EngineInject, RejectsBadWires) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  HopMessage m;
+  EXPECT_THROW(e.inject(g.wire_slots(), m), Error);
+  EXPECT_THROW(e.inject(kNoWire, m), Error);
+}
+
+// --- trace sink ----------------------------------------------------------
+
+// Collects sink callbacks as strings so ordering is easy to assert.
+class StringSink : public EngineTraceSink<HopMessage> {
+ public:
+  void on_schedule(Tick now, NodeId v) override {
+    log.push_back("sched@" + std::to_string(now) + " n" + std::to_string(v));
+  }
+  void on_step(Tick tick, NodeId v) override {
+    log.push_back("step@" + std::to_string(tick) + " n" + std::to_string(v));
+  }
+  void on_send(Tick tick, WireId w, const HopMessage& m) override {
+    log.push_back("send@" + std::to_string(tick) + " w" + std::to_string(w) +
+                  " h" + std::to_string(m.hops));
+  }
+  void on_inject(Tick now, WireId w, const HopMessage& m,
+                 bool overwrote) override {
+    log.push_back("inj@" + std::to_string(now) + " w" + std::to_string(w) +
+                  " h" + std::to_string(m.hops) + (overwrote ? " ow" : ""));
+  }
+  std::vector<std::string> log;
+};
+
+TEST(EngineTraceSinkTest, EmitsStepsSendsSchedulesAndInjects) {
+  const PortGraph g = directed_ring(4);
+  SyncEngine<HopMachine> e(g, 0, {});
+  StringSink sink;
+  e.set_trace_sink(&sink);
+  e.schedule(0);
+  e.step();  // root steps, stages hops=1 on wire 0->1
+  HopMessage m;
+  m.hops = 50;
+  e.inject(g.out_wire(2, 0), m);
+  e.step();
+
+  const std::vector<std::string> expected = {
+      "sched@0 n0",
+      "step@1 n0",
+      "send@1 w" + std::to_string(g.out_wire(0, 0)) + " h1",
+      "inj@1 w" + std::to_string(g.out_wire(2, 0)) + " h50",
+      "step@2 n1",
+      "step@2 n3",
+      "send@2 w" + std::to_string(g.out_wire(1, 0)) + " h2",
+      "send@2 w" + std::to_string(g.out_wire(3, 0)) + " h51",
+  };
+  EXPECT_EQ(sink.log, expected);
+}
+
+TEST(EngineTraceSinkTest, SequentialAndParallelEnginesEmitIdenticalStreams) {
+  // Active sets above 2 * kParallelGrain so an 8-thread engine actually
+  // forks every tick, yet the emitted stream must match the sequential one
+  // exactly (post-join emission in merge order).
+  const PortGraph g = de_bruijn(8);  // 256 nodes > 2 * kParallelGrain
+  std::vector<std::string> logs[2];
+  const int threads[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    SyncEngine<HopMachine> e(g, 0, {}, threads[i]);
+    StringSink sink;
+    e.set_trace_sink(&sink);
+    for (int t = 0; t < 8; ++t) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) e.schedule(v);
+      e.step();
+    }
+    logs[i] = std::move(sink.log);
+  }
+  EXPECT_FALSE(logs[0].empty());
+  EXPECT_EQ(logs[0], logs[1]);
+}
 
 }  // namespace
 }  // namespace dtop

@@ -10,7 +10,7 @@
 #include "core/gtd.hpp"
 #include "core/verify.hpp"
 #include "graph/families.hpp"
-#include "proto/duration_observer.hpp"
+#include "trace/duration_observer.hpp"
 
 namespace dtop {
 namespace {

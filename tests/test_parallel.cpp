@@ -6,7 +6,7 @@
 #include "core/verify.hpp"
 #include "graph/families.hpp"
 #include "graph/random_graph.hpp"
-#include "proto/duration_observer.hpp"
+#include "trace/duration_observer.hpp"
 
 namespace dtop {
 namespace {

@@ -8,7 +8,7 @@
 #include "graph/canonical.hpp"
 #include "graph/families.hpp"
 #include "graph/random_graph.hpp"
-#include "proto/duration_observer.hpp"
+#include "trace/duration_observer.hpp"
 
 namespace dtop {
 namespace {
