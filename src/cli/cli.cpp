@@ -326,12 +326,17 @@ std::string usage_text() {
       "  dtopctl trace  inspect --trace FILE [--start I] [--max N] [--summary]\n"
       "  dtopctl trace  diff    --a FILE --b FILE\n"
       "  dtopctl trace  replay  --trace FILE [--threads T]\n"
+      "  dtopctl serve  --socket PATH [--workers N] [--cache N]\n"
+      "                 [--trace-dir DIR] [--quiet]\n"
+      "  dtopctl client --socket PATH [--request JSON]... [--in FILE]\n"
+      "                 [--shutdown]\n"
       "  dtopctl help\n"
       "\n"
       "Families: " + families + "\n"
       "Integer LISTs accept commas and ranges: 8,16 or 8..64:8.\n"
       "File arguments accept '-' for stdin/stdout.\n"
-      "Exit codes: 0 success, 1 runtime/verify failure, 2 usage error.\n"
+      "Exit codes: 0 success, 1 runtime/verify failure, 2 usage error;\n"
+      "interrupted sweep/serve drain and exit 128+signal (130/143).\n"
       "Full reference: docs/dtopctl.md\n";
 }
 
@@ -355,6 +360,9 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "bench") return bench_command(parse_bench_args(rest), out, err);
     if (cmd == "sweep") return sweep_command(parse_sweep_args(rest), out, err);
     if (cmd == "trace") return trace_command(parse_trace_args(rest), out, err);
+    if (cmd == "serve") return serve_command(parse_serve_args(rest), out, err);
+    if (cmd == "client")
+      return client_command(parse_client_args(rest), out, err);
     throw UsageError("unknown subcommand '" + cmd + "'");
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n\n" << usage_text();

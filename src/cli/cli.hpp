@@ -11,6 +11,11 @@
 //           src/runner, emitting a table, JSON, or CSV.
 //   trace   record a run as a self-contained binary trace; inspect, diff,
 //           and replay trace files (src/trace).
+//   serve   run dtopd — the resident topology-determination daemon with a
+//           canonical-form result cache — on a Unix-domain socket
+//           (src/service).
+//   client  send line-delimited JSON requests to a running dtopd and print
+//           the responses.
 //
 // The subcommand implementations take explicit option structs and write to
 // caller-supplied streams so the test suite can drive them in-process; the
@@ -18,7 +23,9 @@
 //
 // Exit-code contract (documented in docs/dtopctl.md): 0 success, 1 runtime
 // failure (protocol error, verify mismatch, failed campaign jobs, I/O), 2
-// usage error (unknown subcommand or flag; usage goes to stderr).
+// usage error (unknown subcommand or flag; usage goes to stderr);
+// interrupted `sweep`/`serve` drain, flush, and exit 128+signal (130 for
+// SIGINT, 143 for SIGTERM).
 #pragma once
 
 #include <cstdint>
@@ -110,6 +117,21 @@ struct TraceOptions {
   bool summary = false;      // inspect: header and counts only
 };
 
+struct ServeOptions {
+  std::string socket;      // --socket PATH (required)
+  int workers = 1;         // request-executing ThreadPool size
+  std::size_t cache = 64;  // result-cache capacity, in entries
+  std::string trace_dir;   // capture failed requests here (existing dir)
+  bool quiet = false;      // suppress lifecycle lines on stdout
+};
+
+struct ClientOptions {
+  std::string socket;                 // --socket PATH (required)
+  std::vector<std::string> requests;  // --request LINE (repeatable, in order)
+  std::string in_file;                // --in FILE of request lines ("-" = stdin)
+  bool shutdown = false;              // finish with an {"op":"shutdown"}
+};
+
 // Parsers, exposed for the test suite. `args` excludes the subcommand name.
 // All throw UsageError on unknown flags, missing values, or bad numbers.
 RunOptions parse_run_args(const std::vector<std::string>& args);
@@ -118,6 +140,8 @@ VerifyOptions parse_verify_args(const std::vector<std::string>& args);
 BenchOptions parse_bench_args(const std::vector<std::string>& args);
 SweepOptions parse_sweep_args(const std::vector<std::string>& args);
 TraceOptions parse_trace_args(const std::vector<std::string>& args);
+ServeOptions parse_serve_args(const std::vector<std::string>& args);
+ClientOptions parse_client_args(const std::vector<std::string>& args);
 
 // Materializes a GraphSpec (generation or file load + validate()).
 PortGraph load_or_make_graph(const GraphSpec& spec, std::string* label = nullptr);
@@ -139,6 +163,10 @@ int sweep_command(const SweepOptions& opt, std::ostream& out,
                   std::ostream& err);
 int trace_command(const TraceOptions& opt, std::ostream& out,
                   std::ostream& err);
+int serve_command(const ServeOptions& opt, std::ostream& out,
+                  std::ostream& err);
+int client_command(const ClientOptions& opt, std::ostream& out,
+                   std::ostream& err);
 
 // Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit
 // code 2 (usage printed to `err`) and dtop::Error to exit code 1.

@@ -9,6 +9,7 @@
 #include "cli/flags.hpp"
 #include "runner/emit.hpp"
 #include "runner/runner.hpp"
+#include "service/signals.hpp"
 #include "support/table.hpp"
 
 namespace dtop::cli {
@@ -71,7 +72,7 @@ void print_table(std::ostream& out, const runner::CampaignResult& result) {
   table.print(out);
   out << "\n" << result.jobs.size() << " jobs, "
       << result.jobs.size() - result.failed() << " exact, " << result.failed()
-      << " failed\n";
+      << " failed" << (result.interrupted ? " (interrupted)" : "") << "\n";
 }
 
 }  // namespace
@@ -179,6 +180,13 @@ int sweep_command(const SweepOptions& opt, std::ostream& out,
     };
   }
 
+  // SIGINT/SIGTERM stop the campaign cooperatively: in-flight jobs drain,
+  // the completed prefix is emitted as valid (partial) output, and the
+  // command exits 128+signal instead of dying mid-write.
+  service::SignalGuard guard;
+  service::SignalGuard::reset();
+  ropt.cancel = &service::SignalGuard::flag();
+
   const runner::CampaignResult result = runner::run_campaign(opt.spec, ropt);
 
   runner::EmitOptions eopt;
@@ -195,6 +203,12 @@ int sweep_command(const SweepOptions& opt, std::ostream& out,
   if (!opt.out.empty() && opt.out != "-") {
     out << "Campaign results (" << result.jobs.size() << " jobs, "
         << result.failed() << " failed) written to " << opt.out << "\n";
+  }
+  if (result.interrupted) {
+    err << "interrupted: " << result.jobs.size() << " of "
+        << runner::expand(opt.spec).size()
+        << " jobs completed; partial results flushed\n";
+    return service::SignalGuard::exit_code();
   }
   return result.all_ok() ? 0 : 1;
 }

@@ -74,4 +74,60 @@ NodeId walk_path(const PortGraph& g, NodeId start, const PortPath& path) {
   return cur;
 }
 
+CanonicalForm canonical_form(const PortGraph& g, NodeId root) {
+  DTOP_REQUIRE(root < g.num_nodes(), "canonical_form: root out of range");
+  const CanonicalTree tree = canonical_bfs_tree(g, root);
+  const NodeId n = g.num_nodes();
+
+  // Canonical root paths name nodes uniquely (walking a path from the root
+  // is deterministic), so sorting them yields a total order — the root's
+  // empty path first, then lexicographically by (out, in) steps. Distances
+  // are path lengths, so the order is also BFS-level compatible.
+  std::vector<PortPath> paths(n);
+  for (NodeId v = 0; v < n; ++v) {
+    DTOP_REQUIRE(tree.dist[v] != kUnreachable,
+                 "canonical_form: node " + std::to_string(v) +
+                     " unreachable from root " + std::to_string(root));
+    paths[v] = canonical_path(g, tree, v);
+  }
+  CanonicalForm form;
+  form.order.resize(n);
+  for (NodeId v = 0; v < n; ++v) form.order[v] = v;
+  std::sort(form.order.begin(), form.order.end(),
+            [&](NodeId a, NodeId b) { return paths[a] < paths[b]; });
+  std::vector<NodeId> rank(n);
+  for (NodeId r = 0; r < n; ++r) rank[form.order[r]] = r;
+
+  // Serialize the whole network in canonical ranks. Edge order is fixed by
+  // (rank, out-port), so the bytes are a pure function of the rooted
+  // port-labelled structure.
+  std::ostringstream os;
+  os << "dtop-cf v1 " << static_cast<int>(g.delta()) << " " << n << " "
+     << g.num_wires() << "\n";
+  for (NodeId r = 0; r < n; ++r) {
+    const NodeId v = form.order[r];
+    for (Port p = 0; p < g.delta(); ++p) {
+      const WireId w = g.out_wire(v, p);
+      if (w == kNoWire) continue;
+      const Wire& wr = g.wire(w);
+      os << r << " " << static_cast<int>(p) << " " << rank[wr.to] << " "
+         << static_cast<int>(wr.in_port) << "\n";
+    }
+  }
+  form.bytes = os.str();
+
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : form.bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  form.hash = h;
+  return form;
+}
+
+std::uint64_t canonical_hash(const PortGraph& g, NodeId root) {
+  return canonical_form(g, root).hash;
+}
+
 }  // namespace dtop

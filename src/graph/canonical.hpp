@@ -53,4 +53,29 @@ PortPath canonical_path(const PortGraph& g, const CanonicalTree& tree,
 // exist in the graph.
 NodeId walk_path(const PortGraph& g, NodeId start, const PortPath& path);
 
+// --- rooted canonical form -------------------------------------------------
+//
+// Anonymous processors make node ids a simulator artefact: two relabelings
+// of the same port-labelled network are the same network, and the protocol
+// rooted at r behaves identically on both. The *rooted canonical form*
+// quotients that freedom out. Every node is renamed to its rank in the
+// lexicographic order of canonical root paths (the root is rank 0), and the
+// wire list is re-expressed in those ranks — so the serialized form, and
+// hence its hash, is invariant under node relabelling and distinguishes
+// non-rooted-isomorphic networks. The dtopd result cache keys on this hash:
+// any relabelling of a solved (network, root) instance is a cache hit.
+//
+// Requires every node reachable from `root` (the model's own requirement);
+// throws Error otherwise.
+struct CanonicalForm {
+  std::vector<NodeId> order;  // canonical rank -> original node id
+  std::string bytes;          // serialized rooted canonical description
+  std::uint64_t hash = 0;     // FNV-1a 64 of `bytes`
+};
+
+CanonicalForm canonical_form(const PortGraph& g, NodeId root);
+
+// Just the hash (still computes the full form; convenience for cache keys).
+std::uint64_t canonical_hash(const PortGraph& g, NodeId root);
+
 }  // namespace dtop

@@ -116,6 +116,9 @@ void write_json(std::ostream& os, const CampaignResult& result,
      << ", \"ticks\": " << total_ticks
      << ", \"messages\": " << total_messages
      << ", \"node_steps\": " << total_steps;
+  // Only present on an interrupted (SIGINT/SIGTERM) campaign, so complete
+  // campaigns keep their historical byte-identical shape.
+  if (result.interrupted) os << ", \"interrupted\": true";
   if (opt.timing) os << ", \"wall_ms\": " << format_ms(total_ms);
   os << "}\n}\n";
 }

@@ -10,7 +10,7 @@
 #include "core/verify.hpp"
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
-#include "sim/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/trace_io.hpp"
 
 namespace dtop::runner {
@@ -162,6 +162,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
 
   pool.run([&](int) {
     for (;;) {
+      if (opt.cancel && opt.cancel->load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       // Never throws: failures land in the result.
@@ -172,6 +173,14 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       }
     }
   });
+  // fetch_add claims indices in order and a claimed job always completes,
+  // so on cancellation the executed jobs are exactly a prefix of the
+  // expansion — trim to it and flag the early stop.
+  const std::size_t executed = std::min(next.load(), jobs.size());
+  if (executed < jobs.size()) {
+    out.jobs.resize(executed);
+    out.interrupted = true;
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 // them unless asked).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -50,6 +51,10 @@ struct JobResult {
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<JobResult> jobs;  // expansion order (JobSpec::index)
+  // True when a cancel flag stopped the campaign early. `jobs` then holds
+  // the completed prefix of the expansion (claimed jobs always finish; no
+  // result is ever a torn half-execution).
+  bool interrupted = false;
 
   std::size_t failed() const;
   bool all_ok() const { return failed() == 0; }
@@ -68,6 +73,10 @@ struct RunnerOptions {
   // the trace can then be inspected, diffed, and replayed with
   // `dtopctl trace`.
   std::string trace_dir;
+  // Cooperative cancellation (SIGINT/SIGTERM in `dtopctl sweep`): polled by
+  // every worker before claiming the next job. In-flight jobs drain, the
+  // completed prefix is returned, CampaignResult::interrupted is set.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Executes one job. Never throws: every failure mode lands in the result.

@@ -1,0 +1,66 @@
+// A minimal blocking MPMC queue, the spine of the dtopd request pipeline:
+// connection threads push parsed requests, ThreadPool workers pop and
+// execute them. close() is the drain protocol — after it, pushes are
+// rejected but pops keep returning queued items until the queue is empty,
+// so a shutting-down server finishes every request it accepted.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dtop::service {
+
+template <typename T>
+class JobQueue {
+ public:
+  // Returns false (and drops the item) once the queue is closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed *and* empty
+  // (then returns nullopt — the worker's signal to exit).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dtop::service

@@ -1,0 +1,275 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace dtop::service {
+namespace {
+
+constexpr int kPollMs = 200;  // stop-flag latency bound
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket path '" + path + "' is empty or too long (max " +
+                std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+// Blocking full write, client side. MSG_NOSIGNAL: a peer that hung up must
+// surface as EPIPE here, not as a process-killing SIGPIPE (neither the
+// daemon nor the client installs a SIGPIPE handler).
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& opt) : opt_(opt), service_(opt.service) {}
+
+int Server::serve(std::ostream& log) {
+  const sockaddr_un addr = make_addr(opt_.socket_path);
+
+  // A leftover socket file from a crashed daemon must not block restart —
+  // but a *live* daemon must, and a path that is not a socket at all (a
+  // typo pointing at a real file) must never be unlinked.
+  struct stat st = {};
+  if (::lstat(opt_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw Error("'" + opt_.socket_path +
+                  "' exists and is not a socket — refusing to replace it");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    DTOP_CHECK(probe >= 0, "cannot create probe socket");
+    const bool live = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr)) == 0;
+    ::close(probe);
+    if (live) {
+      throw Error("socket '" + opt_.socket_path +
+                  "' already has a listening daemon");
+    }
+    ::unlink(opt_.socket_path.c_str());
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DTOP_CHECK(listen_fd >= 0, "cannot create listen socket");
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    throw Error("cannot bind '" + opt_.socket_path + "': " + why);
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    ::unlink(opt_.socket_path.c_str());
+    throw Error("cannot listen on '" + opt_.socket_path + "': " + why);
+  }
+
+  if (!opt_.quiet) {
+    log << "dtopd: listening on " << opt_.socket_path << " (workers="
+        << opt_.service.workers << ", cache=" << opt_.service.cache_capacity
+        << (opt_.service.trace_dir.empty()
+                ? std::string()
+                : ", trace-dir=" + opt_.service.trace_dir)
+        << ")\n"
+        << std::flush;
+  }
+
+  bool interrupted = false;
+  for (;;) {
+    if (service_.shutdown_requested()) break;
+    if (opt_.stop && opt_.stop->load(std::memory_order_acquire)) {
+      interrupted = true;
+      break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the flags
+      break;
+    }
+    reap_connections(/*all=*/false);
+    if (ready == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::make_unique<Connection>());
+    Connection* c = conns_.back().get();
+    c->thread = std::thread([this, conn, c] {
+      handle_connection(conn);
+      c->done.store(true, std::memory_order_release);
+    });
+  }
+
+  // Drain: no new connections, tell reader threads to wind down, execute
+  // everything already accepted, then release the address.
+  ::close(listen_fd);
+  closing_.store(true, std::memory_order_release);
+  reap_connections(/*all=*/true);
+  service_.stop();
+  ::unlink(opt_.socket_path.c_str());
+  if (!opt_.quiet) {
+    const CacheStats c = service_.cache_stats();
+    log << "dtopd: " << (interrupted ? "interrupted" : "shutdown")
+        << ", drained (cache: " << c.hits << " hits, " << c.misses
+        << " misses, " << c.evictions << " evictions)\n"
+        << std::flush;
+  }
+  return 0;
+}
+
+bool Server::write_response(int fd, const std::string& line) {
+  const std::string data = line + "\n";
+  std::size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) {
+      // A connected peer that stopped reading fills the send buffer; the
+      // drain path must still be able to exit, so the write is abandoned
+      // (truncating that client's stream) once closing_ is raised.
+      if (closing_.load(std::memory_order_acquire)) return false;
+      continue;
+    }
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;  // EPIPE and friends: the peer is gone
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Server::reap_connections(bool all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (all || (*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string buf;
+  std::vector<std::uint64_t> order;
+  bool write_ok = true;
+  for (;;) {
+    if (!write_ok || closing_.load(std::memory_order_acquire)) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed
+    buf.append(chunk, static_cast<std::size_t>(n));
+
+    // Submit every complete line first (a pipelining client's identical
+    // requests are then genuinely in flight together), then write the
+    // responses back in request order.
+    order.clear();
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      order.push_back(service_.submit(std::move(line)));
+    }
+    buf.erase(0, start);
+    for (const std::uint64_t ticket : order) {
+      // Every submitted ticket must be waited on even after the peer went
+      // away, or its future (and response string) would sit in the Service
+      // for the daemon's lifetime. A failed write (EPIPE: client gone
+      // mid-response; or drain raised against a non-reading peer) just
+      // stops further writes; the daemon stays up.
+      const std::string response = service_.wait(ticket);
+      if (!write_ok) continue;
+      write_ok = write_response(fd, response);
+    }
+  }
+  ::close(fd);
+}
+
+ClientChannel::ClientChannel(const std::string& socket_path) {
+  const sockaddr_un addr = make_addr(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DTOP_CHECK(fd_ >= 0, "cannot create client socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to '" + socket_path + "': " + why +
+                " (is `dtopctl serve` running?)");
+  }
+}
+
+ClientChannel::~ClientChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ClientChannel::send(const std::string& line) {
+  write_all(fd_, line + "\n");
+}
+
+std::optional<std::string> ClientChannel::recv() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) return std::nullopt;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace dtop::service

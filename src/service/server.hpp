@@ -1,0 +1,91 @@
+// dtopd's transport: a line-delimited JSON protocol over a Unix-domain
+// stream socket, in front of the transport-free Service.
+//
+// One thread accepts connections (poll with a short timeout so stop flags
+// are honoured promptly); each connection gets a reader thread that parses
+// complete lines, submits them to the Service — *batched*, so a pipelining
+// client genuinely exercises the queue and in-flight dedup — and writes the
+// responses back in request order. Stopping is always a drain: requests
+// already accepted are executed before serve() returns, whether the trigger
+// was a shutdown request or SIGINT/SIGTERM via ServerOptions::stop.
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "service/service.hpp"
+
+namespace dtop::service {
+
+struct ServerOptions {
+  std::string socket_path;  // AF_UNIX path (sun_path limit ~107 bytes)
+  ServiceOptions service;
+  // External stop flag (typically SignalGuard::flag()); polled every accept
+  // round. nullptr = only a shutdown request stops the server.
+  const std::atomic<bool>* stop = nullptr;
+  bool quiet = false;  // suppress lifecycle lines on the log stream
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opt);
+
+  // Binds the socket and serves until a shutdown request or *stop. Returns
+  // 0 after a clean drain; throws Error when the socket cannot be bound
+  // (path too long, address in use by a live daemon, ...). A stale socket
+  // file with no listener behind it is silently replaced.
+  int serve(std::ostream& log);
+
+  Service& service() { return service_; }
+
+ private:
+  // One reader thread per live connection; `done` lets the accept loop
+  // reap finished connections as it goes, so a long-running daemon never
+  // accumulates unjoined threads.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(int fd);
+  void reap_connections(bool all);
+  // Writes line + '\n', polling for writability so a peer that stopped
+  // reading can never wedge the drain path: returns false on a dead peer
+  // or when closing_ is raised mid-write.
+  bool write_response(int fd, const std::string& line);
+
+  ServerOptions opt_;
+  Service service_;
+  std::atomic<bool> closing_{false};  // tells connection threads to wind down
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+};
+
+// Client-side helpers (used by `dtopctl client` and the tests): a blocking
+// line channel over the same socket.
+class ClientChannel {
+ public:
+  // Connects to a dtopd socket; throws Error when nothing listens there.
+  explicit ClientChannel(const std::string& socket_path);
+  ~ClientChannel();
+
+  ClientChannel(const ClientChannel&) = delete;
+  ClientChannel& operator=(const ClientChannel&) = delete;
+
+  void send(const std::string& line);  // writes line + '\n'
+  // One response line (without the '\n'); nullopt on EOF.
+  std::optional<std::string> recv();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace dtop::service

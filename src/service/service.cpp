@@ -1,0 +1,456 @@
+#include "service/service.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/gtd.hpp"
+#include "core/map_io.hpp"
+#include "core/verify.hpp"
+#include "graph/analysis.hpp"
+#include "graph/canonical.hpp"
+#include "graph/families.hpp"
+#include "graph/graph_io.hpp"
+#include "runner/runner.hpp"
+#include "trace/recorder.hpp"
+#include "trace/trace_io.hpp"
+
+namespace dtop::service {
+namespace {
+
+// A determine run that ended in anything but kExact. Carries the runner's
+// status vocabulary so daemon responses and sweep rows speak one language.
+class DetermineError : public Error {
+ public:
+  DetermineError(std::string status, std::string detail)
+      : Error(std::move(detail)), status_(std::move(status)) {}
+  const std::string& status() const { return status_; }
+
+ private:
+  std::string status_;
+};
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+// Materializes the request's network: a named family instance or an inline
+// dtop-graph v1 text in the "graph" field. The daemon's cache key is the
+// rooted canonical form, which requires every processor reachable from the
+// root; we demand full strong connectivity up front (the paper's model
+// does too — every processor must also answer back to the root).
+PortGraph request_graph(const JsonObject& req, std::string* label) {
+  const bool inline_graph = req.has("graph");
+  const bool family = req.has("family");
+  if (inline_graph == family) {
+    throw JsonError(
+        "request needs exactly one network source: \"family\" or \"graph\"");
+  }
+  PortGraph g{1, 1};
+  if (inline_graph) {
+    g = graph_from_string(req.require_string("graph"));
+    g.validate();
+    *label = "graph";
+  } else {
+    const std::uint64_t nodes = req.get_u64("nodes", 16);
+    if (nodes < 2 || nodes > 0xFFFFFFFFull) {
+      throw Error("\"nodes\" value " + std::to_string(nodes) +
+                  " out of range (need 2 <= nodes <= 2^32-1)");
+    }
+    FamilyInstance fi =
+        make_family(req.require_string("family"), static_cast<NodeId>(nodes),
+                    req.get_u64("seed", 1));
+    g = std::move(fi.graph);
+    *label = fi.label;
+  }
+  if (!is_strongly_connected(g)) {
+    throw Error("network must be strongly connected");
+  }
+  return g;
+}
+
+NodeId request_root(const JsonObject& req, const PortGraph& g) {
+  const std::uint64_t root = req.get_u64("root", 0);
+  if (root >= g.num_nodes()) {
+    throw Error("root " + std::to_string(root) + " out of range (network has " +
+                std::to_string(g.num_nodes()) + " nodes)");
+  }
+  return static_cast<NodeId>(root);
+}
+
+// One deterministic protocol execution; throws DetermineError on every
+// non-exact outcome so only verified results ever reach the cache.
+CachedMap execute_determine(const PortGraph& g, NodeId root,
+                            const runner::EngineConfig& config, Tick max_ticks,
+                            const std::string& label) {
+  GtdOptions gopt;
+  gopt.protocol = config.protocol;
+  gopt.max_ticks = max_ticks;
+  const GtdResult res = run_gtd(g, root, gopt);
+  if (res.status != RunStatus::kTerminated) {
+    throw DetermineError("budget", "tick budget exhausted after " +
+                                       std::to_string(res.stats.ticks) +
+                                       " ticks");
+  }
+  if (!res.map_complete) {
+    throw DetermineError("mismatch", "transcript did not yield a complete map");
+  }
+  const VerifyResult v = verify_map(g, root, res.map);
+  if (!v.ok) throw DetermineError("mismatch", v.detail);
+  if (!res.end_state_clean) {
+    throw DetermineError("residue", "end state not pristine (Lemma 4.2)");
+  }
+  CachedMap out;
+  out.map_text = map_to_string(res.map);
+  out.label = label;
+  out.n = g.num_nodes();
+  out.d = diameter(g);
+  out.e = g.num_wires();
+  out.ticks = res.stats.ticks;
+  out.messages = res.stats.messages;
+  out.node_steps = res.stats.node_steps;
+  return out;
+}
+
+// Post-mortem hook: re-runs a failed determine with a recorder attached and
+// writes the capture as req-<seq>.dtrace (the run is deterministic, so the
+// re-run reproduces the failure exactly). Returns the path, or "" when
+// nothing could be captured.
+std::string capture_determine_trace(const PortGraph& g, NodeId root,
+                                    const runner::EngineConfig& config,
+                                    Tick max_ticks,
+                                    const std::string& trace_dir,
+                                    std::uint64_t ticket) {
+  trace::TraceRecorder rec;
+  GtdOptions gopt;
+  gopt.protocol = config.protocol;
+  gopt.max_ticks = max_ticks;
+  gopt.trace = &rec;
+  try {
+    (void)run_gtd(g, root, gopt);
+  } catch (const std::exception&) {
+    // Expected for violation runs; the recorder keeps the partial stream.
+  }
+  if (!rec.started()) return "";
+  const std::string path =
+      trace_dir + "/req-" + std::to_string(ticket) + ".dtrace";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return "";
+  trace::write_trace(out, rec.take());
+  return path;
+}
+
+std::vector<NodeId> parse_sizes(const std::string& text) {
+  std::vector<NodeId> sizes;
+  for (const std::uint64_t v : runner::parse_u64_list("sizes", text)) {
+    if (v < 2 || v > 0xFFFFFFFFull) {
+      throw Error("sweep size " + std::to_string(v) + " out of range");
+    }
+    sizes.push_back(static_cast<NodeId>(v));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& opt)
+    : opt_(opt), cache_(opt.cache_capacity), pool_(opt.workers) {
+  DTOP_REQUIRE(opt.workers >= 1, "service workers must be >= 1");
+  pump_ = std::thread([this] {
+    pool_.run([this](int) {
+      while (auto job = queue_.pop()) {
+        job->promise.set_value(handle_line(job->line, job->ticket));
+      }
+    });
+  });
+}
+
+Service::~Service() { stop(); }
+
+void Service::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();  // workers drain the backlog, then exit
+  if (pump_.joinable()) pump_.join();
+}
+
+std::uint64_t Service::submit(std::string line) {
+  const std::uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.ticket = ticket;
+  job.line = std::move(line);
+  std::future<std::string> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(futures_mu_);
+    futures_[ticket] = std::move(future);
+  }
+  if (!queue_.push(std::move(job))) {
+    // The queue closed between shutdown and this submit; answer directly so
+    // the caller is never left waiting on an abandoned promise.
+    std::lock_guard<std::mutex> lock(futures_mu_);
+    std::promise<std::string> p;
+    futures_[ticket] = p.get_future();
+    p.set_value(JsonWriter{}
+                    .field("ok", false)
+                    .field("error", "service is shutting down")
+                    .str());
+  }
+  return ticket;
+}
+
+std::string Service::wait(std::uint64_t ticket) {
+  std::future<std::string> future;
+  {
+    std::lock_guard<std::mutex> lock(futures_mu_);
+    const auto it = futures_.find(ticket);
+    DTOP_REQUIRE(it != futures_.end(),
+                 "unknown or already-waited ticket " + std::to_string(ticket));
+    future = std::move(it->second);
+    futures_.erase(it);
+  }
+  return future.get();
+}
+
+std::string Service::call(const std::string& line) { return wait(submit(line)); }
+
+std::string Service::handle_line(const std::string& line,
+                                 std::uint64_t ticket) {
+  std::string op;
+  std::string id;
+  try {
+    const JsonObject req = parse_json_object(line);
+    id = req.raw_token("id");
+    op = req.require_string("op");
+    if (op == "determine") {
+      served_.determine.fetch_add(1, std::memory_order_relaxed);
+      return handle_determine(req, id, ticket);
+    }
+    if (op == "verify") {
+      served_.verify.fetch_add(1, std::memory_order_relaxed);
+      return handle_verify(req, id);
+    }
+    if (op == "sweep") {
+      served_.sweep.fetch_add(1, std::memory_order_relaxed);
+      return handle_sweep(req, id, ticket);
+    }
+    if (op == "stats") {
+      served_.stats.fetch_add(1, std::memory_order_relaxed);
+      return handle_stats(req, id);
+    }
+    if (op == "shutdown") {
+      served_.shutdown.fetch_add(1, std::memory_order_relaxed);
+      shutdown_.store(true, std::memory_order_release);
+      JsonWriter w;
+      if (!id.empty()) w.field_raw("id", id);
+      return w.field("op", "shutdown").field("ok", true).str();
+    }
+    throw JsonError("unknown op \"" + op +
+                    "\" (known: determine verify sweep stats shutdown)");
+  } catch (const std::exception& e) {
+    served_.errors.fetch_add(1, std::memory_order_relaxed);
+    JsonWriter w;
+    if (!id.empty()) w.field_raw("id", id);
+    if (!op.empty()) w.field("op", op);
+    return w.field("ok", false).field("error", std::string(e.what())).str();
+  }
+}
+
+std::string Service::handle_determine(const JsonObject& req,
+                                      const std::string& id,
+                                      std::uint64_t ticket) {
+  std::string label;
+  const PortGraph g = request_graph(req, &label);
+  const NodeId root = request_root(req, g);
+  const runner::EngineConfig config =
+      runner::make_engine_config(req.get_string("config", "ratio3"));
+  const Tick max_ticks = req.get_i64("max_ticks", 0);
+  const bool include_map = req.get_bool("include_map", true);
+
+  const CacheKey key{canonical_hash(g, root), config.label};
+
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  w.field("op", "determine");
+
+  std::string outcome;
+  try {
+    // The tick budget discriminates the *in-flight* identity only: budgets
+    // never change a success (so completed entries ignore them), but a
+    // strangled run's budget failure must not be inherited by a
+    // generously-budgeted concurrent twin.
+    const CachedMap r = cache_.get_or_compute(
+        key,
+        [&] { return execute_determine(g, root, config, max_ticks, label); },
+        &outcome, static_cast<std::uint64_t>(max_ticks));
+    w.field("ok", true)
+        .field("status", "exact")
+        .field("cache", outcome)
+        .field("key", hash_hex(key.graph_hash))
+        .field("config", config.label)
+        .field("label", r.label)
+        .field("n", static_cast<std::uint64_t>(r.n))
+        .field("d", static_cast<std::uint64_t>(r.d))
+        .field("e", static_cast<std::uint64_t>(r.e))
+        .field("ticks", static_cast<std::int64_t>(r.ticks))
+        .field("messages", r.messages)
+        .field("node_steps", r.node_steps);
+    if (include_map) w.field("map", r.map_text);
+    return w.str();
+  } catch (const DetermineError& e) {
+    served_.errors.fetch_add(1, std::memory_order_relaxed);
+    w.field("ok", false)
+        .field("status", e.status())
+        .field("cache", outcome)
+        .field("key", hash_hex(key.graph_hash))
+        .field("error", std::string(e.what()));
+  } catch (const Error& e) {
+    // A protocol-invariant violation (fail-loud posture): the run threw.
+    served_.errors.fetch_add(1, std::memory_order_relaxed);
+    w.field("ok", false)
+        .field("status", "violation")
+        .field("cache", outcome)
+        .field("key", hash_hex(key.graph_hash))
+        .field("error", std::string(e.what()));
+  }
+  if (!opt_.trace_dir.empty()) {
+    const std::string path = capture_determine_trace(
+        g, root, config, max_ticks, opt_.trace_dir, ticket);
+    if (!path.empty()) w.field("trace", path);
+  }
+  return w.str();
+}
+
+std::string Service::handle_verify(const JsonObject& req,
+                                   const std::string& id) {
+  std::string label;
+  const PortGraph g = request_graph(req, &label);
+  const NodeId root = request_root(req, g);
+  const TopologyMap map = map_from_string(req.require_string("map"));
+  const VerifyResult v = verify_map(g, root, map);
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  w.field("op", "verify")
+      .field("ok", v.ok)
+      .field("label", label)
+      .field("nodes", static_cast<std::uint64_t>(map.node_count()))
+      .field("edges", static_cast<std::uint64_t>(map.edge_count()));
+  if (!v.ok) w.field("detail", v.detail);
+  return w.str();
+}
+
+std::string Service::handle_sweep(const JsonObject& req, const std::string& id,
+                                  std::uint64_t ticket) {
+  runner::CampaignSpec spec;
+  if (req.has("families")) {
+    spec.families = runner::parse_name_list(req.require_string("families"));
+    runner::check_families(spec.families);
+  }
+  if (req.has("sizes")) spec.sizes = parse_sizes(req.require_string("sizes"));
+  if (req.has("seeds")) {
+    spec.seeds = runner::parse_u64_list("seeds", req.require_string("seeds"));
+  }
+  if (req.has("configs")) {
+    spec.configs.clear();
+    for (const std::string& name :
+         runner::parse_name_list(req.require_string("configs"))) {
+      spec.configs.push_back(runner::make_engine_config(name));
+    }
+  }
+  if (req.has("scenarios")) {
+    spec.scenarios = runner::parse_scenario_list(req.require_string("scenarios"));
+  }
+  spec.root = static_cast<NodeId>(req.get_u64("root", 0));
+  spec.max_ticks = req.get_i64("max_ticks", 0);
+
+  runner::RunnerOptions ropt;
+  // The campaign runs single-threaded inside this worker: daemon-level
+  // concurrency comes from the service's own ThreadPool, and nesting pools
+  // per request would oversubscribe without changing any result (campaign
+  // output is thread-count invariant by construction).
+  ropt.threads = 1;
+  if (!opt_.trace_dir.empty()) {
+    const std::string dir =
+        opt_.trace_dir + "/req-" + std::to_string(ticket);
+    std::filesystem::create_directories(dir);
+    ropt.trace_dir = dir;
+  }
+  const runner::CampaignResult result = runner::run_campaign(spec, ropt);
+
+  std::uint64_t total_ticks = 0, total_messages = 0;
+  std::string jobs = "[";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const runner::JobResult& j = result.jobs[i];
+    total_ticks += static_cast<std::uint64_t>(j.ticks);
+    total_messages += j.messages;
+    JsonWriter jw;
+    jw.field("index", static_cast<std::uint64_t>(j.spec.index))
+        .field("label", j.label)
+        .field("seed", j.spec.seed)
+        .field("config", j.spec.config.label)
+        .field("scenario", j.spec.scenario.label)
+        .field("status", runner::to_cstr(j.status))
+        .field("ticks", static_cast<std::int64_t>(j.ticks))
+        .field("messages", j.messages);
+    if (!j.detail.empty()) jw.field("detail", j.detail);
+    if (!j.trace_file.empty()) jw.field("trace", j.trace_file);
+    jobs += (i ? ", " : "") + jw.str();
+  }
+  jobs += "]";
+
+  if (!result.all_ok()) {
+    served_.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  return w.field("op", "sweep")
+      .field("ok", result.all_ok())
+      .field("jobs", static_cast<std::uint64_t>(result.jobs.size()))
+      .field("exact",
+             static_cast<std::uint64_t>(result.jobs.size() - result.failed()))
+      .field("failed", static_cast<std::uint64_t>(result.failed()))
+      .field("ticks", total_ticks)
+      .field("messages", total_messages)
+      .field_raw("results", jobs)
+      .str();
+}
+
+std::string Service::handle_stats(const JsonObject& req,
+                                  const std::string& id) {
+  (void)req;
+  const CacheStats c = cache_.stats();
+  JsonWriter cache_w;
+  cache_w.field("capacity", static_cast<std::uint64_t>(c.capacity))
+      .field("size", static_cast<std::uint64_t>(c.size))
+      .field("hits", c.hits)
+      .field("misses", c.misses)
+      .field("coalesced", c.coalesced)
+      .field("inserts", c.inserts)
+      .field("evictions", c.evictions)
+      .field("executions", c.executions);
+  JsonWriter served_w;
+  served_w
+      .field("determine", served_.determine.load(std::memory_order_relaxed))
+      .field("verify", served_.verify.load(std::memory_order_relaxed))
+      .field("sweep", served_.sweep.load(std::memory_order_relaxed))
+      .field("stats", served_.stats.load(std::memory_order_relaxed))
+      .field("shutdown", served_.shutdown.load(std::memory_order_relaxed))
+      .field("errors", served_.errors.load(std::memory_order_relaxed));
+  // Deliberately no worker-count or timing fields: the determinism
+  // contract promises byte-identical session transcripts at any worker
+  // count, and stats responses are part of the transcript. The daemon's
+  // startup log line reports the configuration instead.
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  return w.field("op", "stats")
+      .field("ok", true)
+      .field_raw("cache", cache_w.str())
+      .field_raw("served", served_w.str())
+      .str();
+}
+
+}  // namespace dtop::service

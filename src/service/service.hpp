@@ -1,0 +1,132 @@
+// dtopd's request engine, transport-free.
+//
+// A Service owns the canonical-form ResultCache, a JobQueue of raw request
+// lines, and a pump thread driving the shared support/ThreadPool: workers
+// pop requests, execute them, and fulfil the submitter's future. The
+// Unix-socket Server (server.hpp) is a thin transport in front of this
+// class; the test suite drives the same code with no socket at all.
+//
+// Protocol (one flat JSON object per line; full reference in
+// docs/dtopctl.md § dtopd):
+//
+//   {"op": "determine", "family": "torus", "nodes": 16, "seed": 1,
+//    "root": 0, "config": "ratio3"}          -> run (or recall) the protocol
+//   {"op": "verify", "map": "...", "family": ...}  -> check a map
+//   {"op": "sweep", "families": "torus", "sizes": "8,16", "seeds": "1..4"}
+//   {"op": "stats"}                          -> cache + served counters
+//   {"op": "shutdown"}                       -> flag a graceful stop
+//
+// Determinism contract (same one the engine, runner, and trace layers
+// uphold): a response is a pure function of the request and the sequence of
+// requests completed before it. No wall-clock, worker-id, or thread-count
+// detail ever enters a response, so a scripted session replayed against a
+// 1-worker and an 8-worker daemon produces byte-identical transcripts
+// (tests/test_service.cpp). Identical determine requests in flight at the
+// same time coalesce onto one protocol run (ResultCache::get_or_compute).
+// Two scheduling-visible caveats, both counter-shaped: a pipelined
+// duplicate reports "coalesced" instead of "hit", and a `stats` request
+// pipelined behind unfinished requests may observe their counters
+// mid-update — await outstanding responses before `stats` when its
+// numbers must be exact (sequential sessions always are).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "service/job_queue.hpp"
+#include "service/json.hpp"
+#include "service/result_cache.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dtop::service {
+
+struct ServiceOptions {
+  int workers = 1;                 // ThreadPool size executing requests
+  std::size_t cache_capacity = 64;  // ResultCache entries
+  // When non-empty: a failed determine request is deterministically re-run
+  // with a trace recorder and captured as <trace_dir>/req-<seq>.dtrace; a
+  // sweep request's failed jobs land under <trace_dir>/req-<seq>/ via the
+  // runner's own capture hook. The directory must exist.
+  std::string trace_dir;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& opt);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Enqueues one request line; returns a ticket to pass to wait(). Tickets
+  // are assigned in submission order and seed deterministic artifact names
+  // (trace captures).
+  std::uint64_t submit(std::string line);
+
+  // Blocks until the ticket's response line is ready. Each ticket may be
+  // waited on exactly once.
+  std::string wait(std::uint64_t ticket);
+
+  // submit + wait: the sequential-session primitive.
+  std::string call(const std::string& line);
+
+  // True once a shutdown request was executed. The transport is expected to
+  // stop accepting work and call stop().
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  // Drains the queue (every accepted request is executed) and joins the
+  // workers. Idempotent; called by the destructor.
+  void stop();
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  const ServiceOptions& options() const { return opt_; }
+
+ private:
+  struct Job {
+    std::uint64_t ticket = 0;
+    std::string line;
+    std::promise<std::string> promise;
+  };
+
+  // Per-op served counters, reported by the stats request.
+  struct Served {
+    std::atomic<std::uint64_t> determine{0};
+    std::atomic<std::uint64_t> verify{0};
+    std::atomic<std::uint64_t> sweep{0};
+    std::atomic<std::uint64_t> stats{0};
+    std::atomic<std::uint64_t> shutdown{0};
+    std::atomic<std::uint64_t> errors{0};
+  };
+
+  // Never throws: every failure becomes an ok=false response line.
+  std::string handle_line(const std::string& line, std::uint64_t ticket);
+
+  std::string handle_determine(const JsonObject& req, const std::string& id,
+                               std::uint64_t ticket);
+  std::string handle_verify(const JsonObject& req, const std::string& id);
+  std::string handle_sweep(const JsonObject& req, const std::string& id,
+                           std::uint64_t ticket);
+  std::string handle_stats(const JsonObject& req, const std::string& id);
+
+  ServiceOptions opt_;
+  ResultCache cache_;
+  JobQueue<Job> queue_;
+  ThreadPool pool_;
+  std::thread pump_;  // runs pool_.run(worker loop) for the Service lifetime
+
+  std::mutex futures_mu_;
+  std::unordered_map<std::uint64_t, std::future<std::string>> futures_;
+  std::atomic<std::uint64_t> next_ticket_{1};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> stopped_{false};
+  Served served_;
+};
+
+}  // namespace dtop::service

@@ -1,0 +1,47 @@
+#include "service/signals.hpp"
+
+#include <csignal>
+
+namespace dtop::service {
+namespace {
+
+std::atomic<bool> g_flag{false};
+std::atomic<int> g_signal{0};
+
+// lock-free atomic stores are async-signal-safe; nothing else happens here.
+void on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_flag.store(true, std::memory_order_release);
+}
+
+struct sigaction g_old_int;
+struct sigaction g_old_term;
+
+}  // namespace
+
+SignalGuard::SignalGuard() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking accept/poll must wake up
+  sigaction(SIGINT, &sa, &g_old_int);
+  sigaction(SIGTERM, &sa, &g_old_term);
+}
+
+SignalGuard::~SignalGuard() {
+  sigaction(SIGINT, &g_old_int, nullptr);
+  sigaction(SIGTERM, &g_old_term, nullptr);
+}
+
+std::atomic<bool>& SignalGuard::flag() { return g_flag; }
+
+int SignalGuard::exit_code() {
+  return 128 + g_signal.load(std::memory_order_relaxed);
+}
+
+void SignalGuard::reset() {
+  g_flag.store(false, std::memory_order_release);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dtop::service

@@ -1,0 +1,40 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running entry points
+// (`dtopctl sweep`, `dtopctl serve`).
+//
+// A SignalGuard installs handlers that do nothing but set a process-wide
+// lock-free flag; the interrupted command is expected to poll the flag at
+// its natural cancellation points (between campaign jobs, per accept-loop
+// round), drain in-flight work, flush partial output, and exit with the
+// conventional 128+signal code (130 for SIGINT, 143 for SIGTERM) — instead
+// of dying mid-write. The previous handlers are restored on destruction, so
+// the guard composes with in-process test drivers.
+#pragma once
+
+#include <atomic>
+
+namespace dtop::service {
+
+class SignalGuard {
+ public:
+  SignalGuard();   // installs SIGINT + SIGTERM handlers
+  ~SignalGuard();  // restores the previous handlers
+
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  // The process-wide interrupt flag (usable as RunnerOptions::cancel or
+  // ServerOptions::stop). Set by the handler, never cleared by it.
+  static std::atomic<bool>& flag();
+
+  bool triggered() const { return flag().load(std::memory_order_acquire); }
+
+  // 128 + the last delivered signal number (130 = SIGINT, 143 = SIGTERM);
+  // meaningless unless triggered().
+  static int exit_code();
+
+  // Clears the flag (test isolation; also lets a command distinguish "its"
+  // interrupt from a stale one).
+  static void reset();
+};
+
+}  // namespace dtop::service

@@ -22,7 +22,7 @@
 #include "graph/port_graph.hpp"
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
-#include "sim/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 #include "sim/trace_sink.hpp"
 #include "support/error.hpp"
 

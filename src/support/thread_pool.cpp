@@ -1,4 +1,4 @@
-#include "sim/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 
 #include "support/error.hpp"
 

@@ -1,7 +1,8 @@
-// A minimal persistent thread pool with a fork-join `run` primitive, used by
-// the engine to execute one BSP superstep (one global clock tick) in
-// parallel. One pool outlives the whole simulation; each tick performs a
-// single fork-join, which doubles as the BSP barrier.
+// A minimal persistent thread pool with a fork-join `run` primitive, shared
+// by every concurrent layer in the repo: the BSP engine runs one fork-join
+// per global clock tick (the join doubles as the tick barrier), the
+// campaign runner fans jobs out over it, and the dtopd service drives its
+// request workers with a single long-lived fork-join that ends at drain.
 #pragma once
 
 #include <condition_variable>

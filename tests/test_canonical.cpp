@@ -2,10 +2,14 @@
 // network families.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "graph/analysis.hpp"
 #include "graph/canonical.hpp"
 #include "graph/families.hpp"
 #include "graph/isomorphism.hpp"
+#include "graph/permute.hpp"
 #include "graph/random_graph.hpp"
 
 namespace dtop {
@@ -63,6 +67,92 @@ TEST(Canonical, WalkPathRejectsBadPaths) {
   const PortGraph g = directed_ring(3);
   EXPECT_THROW(walk_path(g, 0, PortPath{{1, 0}}), Error);  // port 1 dangling
   EXPECT_THROW(walk_path(g, 0, PortPath{{0, 1}}), Error);  // wrong in-port
+}
+
+// --- rooted canonical form: the dtopd cache-key correctness property ------
+
+TEST(CanonicalForm, HashInvariantUnderRelabelling) {
+  // Node ids are a simulator artefact; the canonical-form hash must depend
+  // only on the rooted port-labelled structure. Same hash across random
+  // relabelings of each family (with the root mapped along).
+  const std::vector<std::pair<std::string, NodeId>> cases = {
+      {"torus", 16}, {"debruijn", 16}, {"kautz", 12},
+      {"treeloop", 15}, {"random3", 20}, {"grid", 16},
+  };
+  for (const auto& [family, size] : cases) {
+    const FamilyInstance fi = make_family(family, size, 7);
+    const std::uint64_t expected = canonical_hash(fi.graph, 0);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      std::vector<NodeId> mapping;
+      const PortGraph permuted =
+          permute_nodes_random(fi.graph, seed, &mapping);
+      EXPECT_EQ(canonical_hash(permuted, mapping[0]), expected)
+          << family << " relabelling seed " << seed;
+    }
+  }
+}
+
+TEST(CanonicalForm, DistinguishesNonIsomorphicFamilies) {
+  // Distinct hashes across the (pairwise non-isomorphic) family instances:
+  // collisions here would merge distinct cache entries.
+  std::map<std::uint64_t, std::string> seen;
+  for (const std::string& name : family_names()) {
+    const FamilyInstance fi = make_family(name, 24, 3);
+    const std::uint64_t h = canonical_hash(fi.graph, 0);
+    const auto [it, inserted] = seen.emplace(h, fi.label);
+    EXPECT_TRUE(inserted) << fi.label << " collides with " << it->second;
+  }
+  // Sizes within one family differ too.
+  EXPECT_NE(canonical_hash(directed_ring(4), 0),
+            canonical_hash(directed_ring(5), 0));
+}
+
+TEST(CanonicalForm, DistinguishesTreeLoopLeafOrders) {
+  // Lemma 5.1's family at depth 2: all leaf orders are pairwise
+  // non-isomorphic rooted networks, so all hashes must differ.
+  std::set<std::uint64_t> hashes;
+  std::vector<std::uint32_t> rest{1, 2, 3};
+  do {
+    std::vector<std::uint32_t> order{0};
+    order.insert(order.end(), rest.begin(), rest.end());
+    hashes.insert(canonical_hash(tree_loop(2, order), 0));
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  EXPECT_EQ(hashes.size(), 6u);
+}
+
+TEST(CanonicalForm, RootedIsomorphicRootsShareAHash) {
+  // A directed ring looks the same from every root (rotation isomorphism):
+  // the hash quotients that out, which is exactly what lets the dtopd cache
+  // answer a differently-rooted but rooted-isomorphic request.
+  const PortGraph g = directed_ring(6);
+  EXPECT_EQ(canonical_hash(g, 0), canonical_hash(g, 3));
+}
+
+TEST(CanonicalForm, RequiresReachabilityFromRoot) {
+  // Two disjoint 2-cycles: valid port graph, but node 2 is unreachable from
+  // root 0 — no canonical name exists for it, so the form must refuse.
+  PortGraph g(4, 2);
+  g.connect(0, 0, 1, 0);
+  g.connect(1, 0, 0, 0);
+  g.connect(2, 0, 3, 0);
+  g.connect(3, 0, 2, 0);
+  g.validate();
+  EXPECT_THROW(canonical_form(g, 0), Error);
+}
+
+TEST(CanonicalForm, OrderIsTheCanonicalRanking) {
+  // order[r] is the original id of canonical rank r; rank 0 is the root and
+  // ranks follow the lexicographic order of canonical root paths.
+  const PortGraph g = random_strongly_connected(
+      {.nodes = 24, .delta = 4, .avg_out_degree = 2.5, .seed = 11});
+  const CanonicalForm form = canonical_form(g, 5);
+  ASSERT_EQ(form.order.size(), g.num_nodes());
+  EXPECT_EQ(form.order[0], 5u);
+  const CanonicalTree tree = canonical_bfs_tree(g, 5);
+  for (std::size_t r = 1; r < form.order.size(); ++r) {
+    EXPECT_LT(canonical_path(g, tree, form.order[r - 1]),
+              canonical_path(g, tree, form.order[r]));
+  }
 }
 
 TEST(Families, DirectedRingShape) {

@@ -605,5 +605,63 @@ TEST(CliMain, SweepTraceDirCapturesFailedJobs) {
       << rerr.str();
 }
 
+// ------------------------------ serve / client ----------------------------
+
+TEST(CliParse, ServeFullFlagSet) {
+  const ServeOptions opt = parse_serve_args(
+      {"--socket", "/tmp/d.sock", "--workers", "4", "--cache", "128",
+       "--trace-dir", "traces", "--quiet"});
+  EXPECT_EQ(opt.socket, "/tmp/d.sock");
+  EXPECT_EQ(opt.workers, 4);
+  EXPECT_EQ(opt.cache, 128u);
+  EXPECT_EQ(opt.trace_dir, "traces");
+  EXPECT_TRUE(opt.quiet);
+}
+
+TEST(CliParse, ServeRequiresSocketAndSaneValues) {
+  EXPECT_THROW(parse_serve_args({}), UsageError);
+  EXPECT_THROW(parse_serve_args({"--socket", "s", "--workers", "0"}),
+               UsageError);
+  EXPECT_THROW(parse_serve_args({"--socket", "s", "--cache", "0"}),
+               UsageError);
+  EXPECT_THROW(parse_serve_args({"--socket", "s", "--bogus"}), UsageError);
+}
+
+TEST(CliParse, ClientCollectsRequestsInOrder) {
+  const ClientOptions opt = parse_client_args(
+      {"--socket", "/tmp/d.sock", "--request", "{\"op\": \"stats\"}",
+       "--request", "{\"op\": \"shutdown\"}", "--in", "session.txt"});
+  EXPECT_EQ(opt.socket, "/tmp/d.sock");
+  ASSERT_EQ(opt.requests.size(), 2u);
+  EXPECT_EQ(opt.requests[0], "{\"op\": \"stats\"}");
+  EXPECT_EQ(opt.in_file, "session.txt");
+  EXPECT_FALSE(opt.shutdown);
+}
+
+TEST(CliParse, ClientRequiresSocketAndSomethingToSend) {
+  EXPECT_THROW(parse_client_args({"--request", "{}"}), UsageError);
+  EXPECT_THROW(parse_client_args({"--socket", "s"}), UsageError);
+  const ClientOptions opt = parse_client_args({"--socket", "s", "--shutdown"});
+  EXPECT_TRUE(opt.shutdown);
+}
+
+TEST(CliMain, UsageMentionsServeAndClient) {
+  EXPECT_NE(usage_text().find("dtopctl serve"), std::string::npos);
+  EXPECT_NE(usage_text().find("dtopctl client"), std::string::npos);
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"serve"}, out, err), 2);  // missing --socket
+  EXPECT_NE(err.str().find("--socket"), std::string::npos);
+}
+
+TEST(CliMain, ClientAgainstDeadSocketFailsCleanly) {
+  std::ostringstream out, err;
+  const int rc = cli_main({"client", "--socket",
+                           ::testing::TempDir() + "no_daemon_here.sock",
+                           "--request", "{\"op\": \"stats\"}"},
+                          out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.str().find("dtopctl serve"), std::string::npos) << err.str();
+}
+
 }  // namespace
 }  // namespace dtop::cli

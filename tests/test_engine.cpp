@@ -8,7 +8,7 @@
 
 #include "graph/families.hpp"
 #include "sim/engine.hpp"
-#include "sim/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dtop {
 namespace {

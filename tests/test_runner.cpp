@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "core/gtd.hpp"
@@ -271,6 +272,62 @@ TEST(Emit, JsonHasPerJobFieldsAndEscapes) {
 
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Cancel, PreSetFlagStopsBeforeAnyJob) {
+  CampaignSpec spec;
+  spec.families = {"torus"};
+  spec.sizes = {9};
+  spec.seeds = {1, 2, 3};
+  std::atomic<bool> cancel{true};
+  RunnerOptions opt;
+  opt.cancel = &cancel;
+  const CampaignResult result = run_campaign(spec, opt);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.jobs.empty());
+}
+
+TEST(Cancel, MidCampaignCancelKeepsCompletedPrefix) {
+  CampaignSpec spec;
+  spec.families = {"torus"};
+  spec.sizes = {9};
+  spec.seeds = {1, 2, 3, 4, 5, 6};
+  std::atomic<bool> cancel{false};
+  RunnerOptions opt;
+  opt.threads = 1;
+  opt.cancel = &cancel;
+  // The flag flips during job 1's completion callback; the worker then
+  // stops before claiming job 2 — the in-flight job drains, nothing is torn.
+  opt.progress = [&](const JobResult&, std::size_t done, std::size_t) {
+    if (done == 2) cancel.store(true);
+  };
+  const CampaignResult result = run_campaign(spec, opt);
+  EXPECT_TRUE(result.interrupted);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.jobs[0].spec.index, 0u);
+  EXPECT_EQ(result.jobs[1].spec.index, 1u);
+  EXPECT_TRUE(result.jobs[0].ok());
+  EXPECT_TRUE(result.jobs[1].ok());
+
+  // Partial output still flushes as *valid* JSON, flagged as interrupted.
+  std::ostringstream os;
+  write_json(os, result);
+  EXPECT_NE(os.str().find("\"interrupted\": true"), std::string::npos);
+  EXPECT_NE(os.str().find("\"jobs\": 2"), std::string::npos);
+}
+
+TEST(Cancel, CompletedCampaignIsNotInterrupted) {
+  CampaignSpec spec;
+  spec.families = {"torus"};
+  spec.sizes = {9};
+  std::atomic<bool> cancel{false};
+  RunnerOptions opt;
+  opt.cancel = &cancel;
+  const CampaignResult result = run_campaign(spec, opt);
+  EXPECT_FALSE(result.interrupted);
+  std::ostringstream os;
+  write_json(os, result);
+  EXPECT_EQ(os.str().find("interrupted"), std::string::npos);
 }
 
 TEST(Emit, CsvHasHeaderAndOneRowPerJob) {

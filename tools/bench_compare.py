@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff freshly produced BENCH_<exp>.json tables against committed baselines.
+
+The benches emit machine-readable model-time tables (BENCH_<exp>.json,
+bench/bench_common.hpp): tick counts, message counts, N*D ratios — all
+deterministic functions of the model, never wall clock. Any drift against
+the committed baselines is therefore a real behaviour change, which is
+exactly what CI should catch. The "env" block (compiler, hardware threads)
+is machine-specific and ignored.
+
+Usage:
+  bench_compare.py --baseline DIR --fresh DIR [--tol REL]
+
+For every BENCH_*.json in the baseline directory, the same file must exist
+in the fresh directory and its tables must match: same table names, same
+columns, same rows; numeric cells within relative tolerance REL (default
+0.0 — exact, since model time is deterministic), string cells equal.
+Fresh files without a baseline are reported as informational (a new
+experiment needs its baseline committed, but must not fail the build that
+introduces it).
+
+Exit codes: 0 all tables match, 1 any mismatch or missing fresh file,
+2 usage error. Stdlib only — runs anywhere python3 does (the CI
+bench-json job).
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_tables(path: Path):
+    with path.open(encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return doc.get("tables", {})
+
+
+def cells_match(a, b, tol: float) -> bool:
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num != b_num:
+        return False
+    if not a_num:
+        return a == b
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return scale > 0 and abs(a - b) / scale <= tol
+
+
+def compare_file(name: str, baseline: Path, fresh: Path, tol: float):
+    """Yields human-readable mismatch descriptions for one BENCH file."""
+    base_tables = load_tables(baseline)
+    fresh_tables = load_tables(fresh)
+
+    for table in sorted(set(base_tables) | set(fresh_tables)):
+        if table not in fresh_tables:
+            yield f"{name}: table '{table}' missing from fresh output"
+            continue
+        if table not in base_tables:
+            yield f"{name}: table '{table}' has no baseline (new table?)"
+            continue
+        b, f = base_tables[table], fresh_tables[table]
+        if b.get("columns") != f.get("columns"):
+            yield (f"{name}:{table}: column mismatch "
+                   f"{b.get('columns')} vs {f.get('columns')}")
+            continue
+        b_rows, f_rows = b.get("rows", []), f.get("rows", [])
+        if len(b_rows) != len(f_rows):
+            yield (f"{name}:{table}: row count {len(b_rows)} -> "
+                   f"{len(f_rows)}")
+            continue
+        columns = b.get("columns", [])
+        for r, (brow, frow) in enumerate(zip(b_rows, f_rows)):
+            for c, (bc, fc) in enumerate(zip(brow, frow)):
+                if not cells_match(bc, fc, tol):
+                    col = columns[c] if c < len(columns) else f"col{c}"
+                    yield (f"{name}:{table}: row {r} [{col}]: "
+                           f"baseline {bc!r} != fresh {fc!r}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", required=True, type=Path,
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--tol", type=float, default=0.0,
+                        help="relative tolerance for numeric cells "
+                             "(default 0.0: exact)")
+    args = parser.parse_args(argv[1:])
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for baseline in baselines:
+        fresh = args.fresh / baseline.name
+        if not fresh.exists():
+            failures.append(f"{baseline.name}: missing from {args.fresh}")
+            continue
+        compared += 1
+        failures.extend(compare_file(baseline.name, baseline, fresh, args.tol))
+
+    # New experiments show up fresh-first; flag them for a baseline commit
+    # without failing the build that introduces them.
+    for fresh in sorted(args.fresh.glob("BENCH_*.json")):
+        if not (args.baseline / fresh.name).exists():
+            print(f"note: {fresh.name} has no baseline yet — "
+                  f"commit it to {args.baseline}")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"FAIL: {len(failures)} mismatches across {compared} files "
+              f"(tol={args.tol})", file=sys.stderr)
+        return 1
+    print(f"ok: {compared} BENCH files match their baselines (tol={args.tol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
