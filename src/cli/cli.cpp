@@ -11,6 +11,8 @@
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
+#include "graph/permute.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace dtop::cli {
@@ -104,6 +106,9 @@ GenOptions parse_gen_args(const std::vector<std::string>& args) {
       opt.out = w.value();
     } else if (f == "--dot") {
       opt.dot = true;
+    } else if (f == "--permute") {
+      opt.permute = true;
+      opt.permute_seed = parse_u64(f, w.value());
     } else {
       throw UsageError("unknown flag '" + f + "' for 'gen'");
     }
@@ -226,7 +231,24 @@ int run_command(const RunOptions& opt, std::ostream& out, std::ostream& err) {
 
 int gen_command(const GenOptions& opt, std::ostream& out, std::ostream& err) {
   std::string label;
-  const PortGraph g = load_or_make_graph(opt.spec, &label);
+  PortGraph g = load_or_make_graph(opt.spec, &label);
+  if (opt.permute) {
+    // Relabel every node except the root: swapping whichever node drew
+    // label 0 back to 0 keeps the instance rooted at 0, so the permuted
+    // graph is a drop-in rooted-isomorphic twin of the original.
+    std::vector<NodeId> mapping(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) mapping[v] = v;
+    Rng rng(opt.permute_seed);
+    rng.shuffle(mapping);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (mapping[v] == 0) {
+        std::swap(mapping[v], mapping[0]);
+        break;
+      }
+    }
+    g = permute_nodes(g, mapping);
+    label += "-permuted";
+  }
   with_output(opt.out, out, [&](std::ostream& os) {
     if (opt.dot) {
       write_dot(os, g);
@@ -311,6 +333,7 @@ std::string usage_text() {
       "                 [--root R] [--threads T] [--max-ticks T] [--verify]\n"
       "                 [--map-out FILE] [--quiet]\n"
       "  dtopctl gen    --family NAME --nodes N [--seed S] [--out FILE] [--dot]\n"
+      "                 [--permute SEED]\n"
       "  dtopctl verify --graph FILE --map FILE [--root R]\n"
       "  dtopctl bench  [--families a,b,...] [--sizes n1,n2,...] [--seed S]\n"
       "  dtopctl sweep  [--spec FILE] [--families a,b,...] [--sizes LIST]\n"
@@ -318,7 +341,7 @@ std::string usage_text() {
       "                 [--scenarios none,budget@T,kill@T,unmark@T,dfs@T]\n"
       "                 [--root R] [--max-ticks T] [--threads T]\n"
       "                 [--format table|json|csv] [--out FILE] [--timing]\n"
-      "                 [--quiet] [--trace-dir DIR]\n"
+      "                 [--quiet] [--trace-dir DIR] [--cluster SOCKS]\n"
       "  dtopctl trace  record  (--family NAME --nodes N | --graph FILE)\n"
       "                 --out FILE [--seed S] [--root R] [--threads T]\n"
       "                 [--max-ticks T] [--config ratioK] [--scenario S]...\n"
@@ -328,15 +351,18 @@ std::string usage_text() {
       "  dtopctl trace  replay  --trace FILE [--threads T]\n"
       "  dtopctl serve  --socket PATH [--workers N] [--cache N]\n"
       "                 [--trace-dir DIR] [--quiet]\n"
-      "  dtopctl client --socket PATH [--request JSON]... [--in FILE]\n"
-      "                 [--shutdown]\n"
+      "  dtopctl client (--socket PATH | --cluster SOCKS) [--request JSON]...\n"
+      "                 [--in FILE] [--shutdown]\n"
+      "  dtopctl cluster --shards N --socket-dir DIR [--workers N] [--cache N]\n"
+      "                 [--trace-dir DIR] [--max-restarts N] [--exe PATH]\n"
+      "                 [--quiet]\n"
       "  dtopctl help\n"
       "\n"
       "Families: " + families + "\n"
       "Integer LISTs accept commas and ranges: 8,16 or 8..64:8.\n"
       "File arguments accept '-' for stdin/stdout.\n"
       "Exit codes: 0 success, 1 runtime/verify failure, 2 usage error;\n"
-      "interrupted sweep/serve drain and exit 128+signal (130/143).\n"
+      "interrupted sweep/serve/cluster drain and exit 128+signal (130/143).\n"
       "Full reference: docs/dtopctl.md\n";
 }
 
@@ -363,6 +389,8 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "serve") return serve_command(parse_serve_args(rest), out, err);
     if (cmd == "client")
       return client_command(parse_client_args(rest), out, err);
+    if (cmd == "cluster")
+      return cluster_command(parse_cluster_args(rest), out, err);
     throw UsageError("unknown subcommand '" + cmd + "'");
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n\n" << usage_text();

@@ -14,8 +14,12 @@
 //   serve   run dtopd — the resident topology-determination daemon with a
 //           canonical-form result cache — on a Unix-domain socket
 //           (src/service).
-//   client  send line-delimited JSON requests to a running dtopd and print
-//           the responses.
+//   client  send line-delimited JSON requests to a running dtopd — or, with
+//           --cluster, through the consistent-hash dispatcher over a set of
+//           dtopd shards — and print the responses.
+//   cluster spawn and babysit N `serve` shards (one process per shard,
+//           crashed children restarted), the supervisor for `--cluster`
+//           clients.
 //
 // The subcommand implementations take explicit option structs and write to
 // caller-supplied streams so the test suite can drive them in-process; the
@@ -71,6 +75,13 @@ struct GenOptions {
   GraphSpec spec;
   std::string out;  // empty or "-" = stdout
   bool dot = false; // emit Graphviz DOT instead of dtop-graph text
+  // --permute SEED: emit a seed-derived relabelling of the instance instead
+  // of the instance itself, with node 0 kept fixed so the relabelled graph
+  // is still rooted at 0. Relabelled instances are rooted-isomorphic to the
+  // original — the canonical hash, and therefore the dtopd cache entry and
+  // the cluster shard, are identical (how CI asserts cache locality).
+  bool permute = false;
+  std::uint64_t permute_seed = 0;
 };
 
 struct VerifyOptions {
@@ -94,6 +105,10 @@ struct SweepOptions {
   bool timing = false;         // include wall-clock fields in json/csv
   bool quiet = false;          // suppress the per-job progress stream (err)
   std::string trace_dir;       // capture failed jobs' traces here (existing dir)
+  // --cluster a.sock,b.sock,...: execute the campaign's jobs remotely on a
+  // dtopd cluster through the canonical-hash dispatcher instead of
+  // in-process. Output stays byte-identical to the in-process run.
+  std::string cluster;
 };
 
 struct TraceOptions {
@@ -126,10 +141,25 @@ struct ServeOptions {
 };
 
 struct ClientOptions {
-  std::string socket;                 // --socket PATH (required)
+  std::string socket;                 // --socket PATH (or --cluster, not both)
+  std::string cluster;                // --cluster a.sock,b.sock,... shard list
   std::vector<std::string> requests;  // --request LINE (repeatable, in order)
   std::string in_file;                // --in FILE of request lines ("-" = stdin)
   bool shutdown = false;              // finish with an {"op":"shutdown"}
+};
+
+struct ClusterOptions {
+  int shards = 2;           // number of `serve` children
+  std::string socket_dir;   // sockets land at DIR/shard-<i>.sock
+  int workers = 1;          // per-shard request workers
+  std::size_t cache = 64;   // per-shard result-cache capacity
+  std::string trace_dir;    // per-shard capture dirs DIR/shard-<i> (created)
+  // Path of the dtopctl binary to exec for the children. Empty = this
+  // process's own image (/proc/self/exe); the flag exists for test drivers
+  // whose own image is not dtopctl.
+  std::string exe;
+  int max_restarts = 5;     // per-shard crash-restart budget
+  bool quiet = false;       // suppress supervisor lifecycle lines
 };
 
 // Parsers, exposed for the test suite. `args` excludes the subcommand name.
@@ -142,6 +172,10 @@ SweepOptions parse_sweep_args(const std::vector<std::string>& args);
 TraceOptions parse_trace_args(const std::vector<std::string>& args);
 ServeOptions parse_serve_args(const std::vector<std::string>& args);
 ClientOptions parse_client_args(const std::vector<std::string>& args);
+ClusterOptions parse_cluster_args(const std::vector<std::string>& args);
+
+// The shard socket paths a ClusterOptions resolves to: DIR/shard-<i>.sock.
+std::vector<std::string> cluster_socket_paths(const ClusterOptions& opt);
 
 // Materializes a GraphSpec (generation or file load + validate()).
 PortGraph load_or_make_graph(const GraphSpec& spec, std::string* label = nullptr);
@@ -167,6 +201,8 @@ int serve_command(const ServeOptions& opt, std::ostream& out,
                   std::ostream& err);
 int client_command(const ClientOptions& opt, std::ostream& out,
                    std::ostream& err);
+int cluster_command(const ClusterOptions& opt, std::ostream& out,
+                    std::ostream& err);
 
 // Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit
 // code 2 (usage printed to `err`) and dtop::Error to exit code 1.

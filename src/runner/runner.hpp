@@ -77,6 +77,12 @@ struct RunnerOptions {
   // every worker before claiming the next job. In-flight jobs drain, the
   // completed prefix is returned, CampaignResult::interrupted is set.
   const std::atomic<bool>* cancel = nullptr;
+  // Pluggable job executor (the cluster dispatcher backend of
+  // `dtopctl sweep --cluster`): when set, every job runs through it instead
+  // of run_job, with the same contract — never throw, land every failure in
+  // the returned result. The trace_dir above is passed through.
+  std::function<JobResult(const JobSpec&, const std::string& trace_dir)>
+      execute;
 };
 
 // Executes one job. Never throws: every failure mode lands in the result.

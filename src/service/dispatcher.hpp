@@ -1,0 +1,134 @@
+// The dtopd cluster dispatcher: one client-side endpoint pool over N
+// Unix-socket daemons (shards), with consistent-hash routing keyed on the
+// rooted canonical-form hash.
+//
+// Why the canonical hash is the shard key: the protocol is
+// relabelling-invariant (the property behind the shards' own result
+// caches), so every rooted-isomorphic instance of a topology — any
+// relabelling, any seed that regenerates the same network — deterministically
+// lands on the same shard and therefore on the cache that already solved it.
+// Cache locality is not a heuristic here; it is a theorem about the key.
+//
+// Transport: one connection per endpoint, shared by every calling thread and
+// *pipelined* — callers enqueue (line, promise) under the endpoint lock, a
+// per-endpoint reader thread matches response lines to promises in FIFO
+// order (dtopd answers each connection in request order). A shard that dies
+// mid-request fails every in-flight promise with EndpointDown; the caller's
+// synchronous wait then retries the request on the next shard of the ring
+// (requests are pure, so a resend is safe), marking a failover. A shard that
+// comes back — the `dtopctl cluster` supervisor restarts crashed children —
+// is picked up transparently: endpoints reconnect on demand. Failover keys
+// off *connection* failures only; there is deliberately no response
+// timeout (a long determine is indistinguishable from a hang at the
+// transport), so a wedged-but-alive shard blocks its callers exactly as a
+// wedged single daemon would.
+//
+// Fan-out ops: `stats` is broadcast to every reachable shard and the
+// counters are summed into one response of exactly the single-daemon shape;
+// `shutdown` broadcasts the drain to every reachable shard. Everything else
+// routes by shard key. Responses therefore stay byte-identical to a single
+// local daemon at any shard count (the one caveat is counter-shaped: a
+// repeated topology re-routed by a failover recomputes on the survivor, so
+// its "cache" field can read "miss" where an unfailed cluster said "hit").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "service/json.hpp"
+#include "support/error.hpp"
+
+namespace dtop::service {
+
+// A transport failure against one endpoint (connect refused, connection
+// reset, EOF before the response). The dispatcher catches it and fails over;
+// it only escapes call() when every shard is unreachable.
+class EndpointDown : public Error {
+ public:
+  explicit EndpointDown(std::string what) : Error(std::move(what)) {}
+};
+
+struct DispatcherOptions {
+  std::vector<std::string> sockets;  // one AF_UNIX path per shard (>= 1)
+  int vnodes = 32;                   // ring points per endpoint
+  // Full passes over the ring before a request is declared undeliverable
+  // (every endpoint is tried once per pass, owner first).
+  int ring_passes = 2;
+};
+
+struct DispatchStats {
+  std::uint64_t routed = 0;     // requests routed by shard key
+  std::uint64_t fan_outs = 0;   // stats/shutdown broadcasts
+  std::uint64_t failovers = 0;  // re-sends after an endpoint failure
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(const DispatcherOptions& opt);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // One request line -> one response line. `stats` and `shutdown` fan out;
+  // everything else routes by shard_key(line) with retry/failover. Throws
+  // Error when no shard is reachable.
+  std::string call(const std::string& line);
+
+  // Routed send with an explicit key (the sweep backend routes each job by
+  // the canonical hash of the job's own network).
+  std::string call_keyed(std::uint64_t key, const std::string& line);
+
+  // The consistent-hash key a request line routes under: the rooted
+  // canonical-form hash of the request's network when one can be
+  // materialized (family instance or inline graph), else a hash of the raw
+  // line — any shard produces the identical structured error response.
+  std::uint64_t shard_key(const std::string& line) const;
+
+  // Ring lookup: index into sockets() of the endpoint owning `key`.
+  std::size_t owner_of(std::uint64_t key) const;
+
+  const std::vector<std::string>& sockets() const { return opt_.sockets; }
+  DispatchStats stats() const;
+
+ private:
+  class Endpoint;
+
+  std::string fan_out_stats(const JsonObject& req);
+  std::string fan_out_shutdown(const JsonObject& req);
+  // shard_key's core on an already-parsed request (call() parses once).
+  std::uint64_t request_key(const JsonObject& req,
+                            const std::string& line) const;
+  // One line to every endpoint in parallel, one reconnect retry each;
+  // nullopt marks a shard that stayed unreachable.
+  std::vector<std::optional<std::string>> broadcast(const std::string& line,
+                                                    std::string* last_error);
+  // Distinct endpoint indices in ring order starting at `key`'s owner.
+  std::vector<std::size_t> ring_order(std::uint64_t key) const;
+
+  DispatcherOptions opt_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;  // sorted points
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> fan_outs_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+};
+
+// Executes one campaign job on the cluster: the job travels as a
+// single-job `sweep` request routed by the canonical hash of the job's own
+// network, and the response row is folded back into a JobResult that is
+// byte-identical (in the deterministic emitters) to a local run_job. With a
+// non-empty `trace_dir`, a failed job is re-executed locally with a trace
+// recorder — jobs are pure functions of their spec, so the local re-run
+// reproduces the remote failure exactly and captures
+// `<trace_dir>/job-<index>.dtrace` under the runner's own naming contract.
+runner::JobResult remote_run_job(Dispatcher& dispatcher,
+                                 const runner::JobSpec& job,
+                                 const std::string& trace_dir);
+
+}  // namespace dtop::service

@@ -39,6 +39,8 @@ std::string hash_hex(std::uint64_t h) {
   return out;
 }
 
+}  // namespace
+
 // Materializes the request's network: a named family instance or an inline
 // dtop-graph v1 text in the "graph" field. The daemon's cache key is the
 // rooted canonical form, which requires every processor reachable from the
@@ -82,6 +84,8 @@ NodeId request_root(const JsonObject& req, const PortGraph& g) {
   }
   return static_cast<NodeId>(root);
 }
+
+namespace {
 
 // One deterministic protocol execution; throws DetermineError on every
 // non-exact outcome so only verified results ever reach the cache.
@@ -394,8 +398,12 @@ std::string Service::handle_sweep(const JsonObject& req, const std::string& id,
         .field("config", j.spec.config.label)
         .field("scenario", j.spec.scenario.label)
         .field("status", runner::to_cstr(j.status))
+        .field("n", static_cast<std::uint64_t>(j.n))
+        .field("d", static_cast<std::uint64_t>(j.d))
+        .field("e", static_cast<std::uint64_t>(j.e))
         .field("ticks", static_cast<std::int64_t>(j.ticks))
-        .field("messages", j.messages);
+        .field("messages", j.messages)
+        .field("node_steps", j.node_steps);
     if (!j.detail.empty()) jw.field("detail", j.detail);
     if (!j.trace_file.empty()) jw.field("trace", j.trace_file);
     jobs += (i ? ", " : "") + jw.str();
@@ -423,23 +431,32 @@ std::string Service::handle_stats(const JsonObject& req,
                                   const std::string& id) {
   (void)req;
   const CacheStats c = cache_.stats();
+  const std::uint64_t cache_values[] = {
+      static_cast<std::uint64_t>(c.capacity),
+      static_cast<std::uint64_t>(c.size),
+      c.hits,
+      c.misses,
+      c.coalesced,
+      c.inserts,
+      c.evictions,
+      c.executions};
+  static_assert(std::size(cache_values) == std::size(kStatsCacheFields));
+  const std::uint64_t served_values[] = {
+      served_.determine.load(std::memory_order_relaxed),
+      served_.verify.load(std::memory_order_relaxed),
+      served_.sweep.load(std::memory_order_relaxed),
+      served_.stats.load(std::memory_order_relaxed),
+      served_.shutdown.load(std::memory_order_relaxed),
+      served_.errors.load(std::memory_order_relaxed)};
+  static_assert(std::size(served_values) == std::size(kStatsServedFields));
   JsonWriter cache_w;
-  cache_w.field("capacity", static_cast<std::uint64_t>(c.capacity))
-      .field("size", static_cast<std::uint64_t>(c.size))
-      .field("hits", c.hits)
-      .field("misses", c.misses)
-      .field("coalesced", c.coalesced)
-      .field("inserts", c.inserts)
-      .field("evictions", c.evictions)
-      .field("executions", c.executions);
+  for (std::size_t f = 0; f < std::size(kStatsCacheFields); ++f) {
+    cache_w.field(kStatsCacheFields[f], cache_values[f]);
+  }
   JsonWriter served_w;
-  served_w
-      .field("determine", served_.determine.load(std::memory_order_relaxed))
-      .field("verify", served_.verify.load(std::memory_order_relaxed))
-      .field("sweep", served_.sweep.load(std::memory_order_relaxed))
-      .field("stats", served_.stats.load(std::memory_order_relaxed))
-      .field("shutdown", served_.shutdown.load(std::memory_order_relaxed))
-      .field("errors", served_.errors.load(std::memory_order_relaxed));
+  for (std::size_t f = 0; f < std::size(kStatsServedFields); ++f) {
+    served_w.field(kStatsServedFields[f], served_values[f]);
+  }
   // Deliberately no worker-count or timing fields: the determinism
   // contract promises byte-identical session transcripts at any worker
   // count, and stats responses are part of the transcript. The daemon's

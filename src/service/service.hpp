@@ -45,6 +45,25 @@
 
 namespace dtop::service {
 
+// Materializes a request's network — a named family instance or an inline
+// dtop-graph v1 text in the "graph" field (exactly one of the two) — and
+// demands strong connectivity (the paper's model does too). Shared by the
+// request handlers here and by the cluster dispatcher's shard-key
+// derivation, so both sides always see the same network for the same line.
+PortGraph request_graph(const JsonObject& req, std::string* label);
+NodeId request_root(const JsonObject& req, const PortGraph& g);
+
+// Counter schema of the stats response, in emission order — the single
+// source of truth shared by Service::handle_stats and the cluster
+// dispatcher's aggregation, which must keep exactly the single-daemon
+// shape. A new counter is added HERE plus one value in the corresponding
+// value array (both sides static_assert the sizes match).
+inline constexpr const char* kStatsCacheFields[] = {
+    "capacity", "size",    "hits",      "misses",
+    "coalesced", "inserts", "evictions", "executions"};
+inline constexpr const char* kStatsServedFields[] = {
+    "determine", "verify", "sweep", "stats", "shutdown", "errors"};
+
 struct ServiceOptions {
   int workers = 1;                 // ThreadPool size executing requests
   std::size_t cache_capacity = 64;  // ResultCache entries

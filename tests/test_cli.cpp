@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "graph/canonical.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
 #include "trace/trace_io.hpp"
@@ -661,6 +662,115 @@ TEST(CliMain, ClientAgainstDeadSocketFailsCleanly) {
                           out, err);
   EXPECT_EQ(rc, 1);
   EXPECT_NE(err.str().find("dtopctl serve"), std::string::npos) << err.str();
+}
+
+// ------------------------------- cluster ----------------------------------
+
+TEST(CliParse, ClusterFullFlagSet) {
+  const ClusterOptions opt = parse_cluster_args(
+      {"--shards", "4", "--socket-dir", "/tmp/cl", "--workers", "2",
+       "--cache", "32", "--trace-dir", "traces", "--max-restarts", "9",
+       "--exe", "/bin/dtopctl", "--quiet"});
+  EXPECT_EQ(opt.shards, 4);
+  EXPECT_EQ(opt.socket_dir, "/tmp/cl");
+  EXPECT_EQ(opt.workers, 2);
+  EXPECT_EQ(opt.cache, 32u);
+  EXPECT_EQ(opt.trace_dir, "traces");
+  EXPECT_EQ(opt.max_restarts, 9);
+  EXPECT_EQ(opt.exe, "/bin/dtopctl");
+  EXPECT_TRUE(opt.quiet);
+  EXPECT_EQ(cluster_socket_paths(opt),
+            (std::vector<std::string>{"/tmp/cl/shard-0.sock",
+                                      "/tmp/cl/shard-1.sock",
+                                      "/tmp/cl/shard-2.sock",
+                                      "/tmp/cl/shard-3.sock"}));
+}
+
+TEST(CliParse, ClusterRequiresSocketDirAndSaneValues) {
+  EXPECT_THROW(parse_cluster_args({}), UsageError);
+  EXPECT_THROW(parse_cluster_args({"--socket-dir", "d", "--shards", "0"}),
+               UsageError);
+  EXPECT_THROW(parse_cluster_args({"--socket-dir", "d", "--workers", "0"}),
+               UsageError);
+  EXPECT_THROW(parse_cluster_args({"--socket-dir", "d", "--bogus"}),
+               UsageError);
+  // The integer grammar is unsigned: a negative restart budget (which
+  // would read as "never restart") is operator error, not a config.
+  EXPECT_THROW(parse_cluster_args({"--socket-dir", "d", "--max-restarts",
+                                   "-3"}),
+               UsageError);
+  const ClusterOptions opt = parse_cluster_args({"--socket-dir", "d"});
+  EXPECT_EQ(opt.shards, 2);
+  EXPECT_EQ(opt.max_restarts, 5);
+  EXPECT_TRUE(opt.exe.empty());
+}
+
+TEST(CliParse, ClientClusterAndSocketAreMutuallyExclusive) {
+  const ClientOptions opt = parse_client_args(
+      {"--cluster", "a.sock,b.sock", "--request", "{}"});
+  EXPECT_EQ(opt.cluster, "a.sock,b.sock");
+  EXPECT_THROW(parse_client_args({"--socket", "s", "--cluster", "a,b",
+                                  "--request", "{}"}),
+               UsageError);
+  EXPECT_THROW(parse_client_args({"--request", "{}"}), UsageError);
+}
+
+TEST(CliParse, SweepClusterFlag) {
+  const SweepOptions opt = parse_sweep_args(
+      {"--families", "torus", "--cluster", "a.sock,b.sock"});
+  EXPECT_EQ(opt.cluster, "a.sock,b.sock");
+  EXPECT_TRUE(parse_sweep_args({"--families", "torus"}).cluster.empty());
+}
+
+TEST(CliParse, GenPermuteFlag) {
+  const GenOptions opt = parse_gen_args(
+      {"--family", "debruijn", "--nodes", "16", "--permute", "7"});
+  EXPECT_TRUE(opt.permute);
+  EXPECT_EQ(opt.permute_seed, 7u);
+  EXPECT_FALSE(parse_gen_args({"--family", "torus"}).permute);
+}
+
+TEST(CliMain, GenPermuteEmitsARootedIsomorphicRelabelling) {
+  std::ostringstream plain_out, perm_out, err;
+  ASSERT_EQ(cli_main({"gen", "--family", "debruijn", "--nodes", "16",
+                      "--out", "-"},
+                     plain_out, err),
+            0);
+  ASSERT_EQ(cli_main({"gen", "--family", "debruijn", "--nodes", "16",
+                      "--permute", "7", "--out", "-"},
+                     perm_out, err),
+            0);
+  // A genuine relabelling: different bytes, same rooted canonical form —
+  // so the dtopd cache (and the cluster shard) treat them as one network.
+  EXPECT_NE(plain_out.str(), perm_out.str());
+  const PortGraph a = graph_from_string(plain_out.str());
+  const PortGraph b = graph_from_string(perm_out.str());
+  EXPECT_EQ(canonical_hash(a, 0), canonical_hash(b, 0));
+}
+
+TEST(CliMain, UsageMentionsClusterEverywhere) {
+  EXPECT_NE(usage_text().find("dtopctl cluster"), std::string::npos);
+  EXPECT_NE(usage_text().find("--cluster"), std::string::npos);
+  EXPECT_NE(usage_text().find("--permute"), std::string::npos);
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"cluster"}, out, err), 2);  // missing --socket-dir
+  EXPECT_NE(err.str().find("--socket-dir"), std::string::npos);
+}
+
+TEST(CliMain, SweepClusterAgainstDeadShardsRecordsViolations) {
+  // Every job fails over until the ring is exhausted, lands as a violation
+  // row, and the command exits 1 — the campaign never aborts or hangs.
+  std::ostringstream out, err;
+  const int rc = cli_main(
+      {"sweep", "--families", "torus", "--sizes", "9", "--quiet",
+       "--format", "json", "--cluster",
+       ::testing::TempDir() + "no_shard_a.sock," + ::testing::TempDir() +
+           "no_shard_b.sock"},
+      out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("\"status\": \"violation\""), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("no cluster shard reachable"), std::string::npos);
 }
 
 }  // namespace

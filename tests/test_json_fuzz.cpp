@@ -1,0 +1,258 @@
+// Fuzz/property tests for the dtopd line-JSON layer (src/service/json.*).
+//
+// The parser eats untrusted bytes off a socket, so the contract under test
+// is absolute: for ANY input, parse_json_object either returns an object or
+// throws JsonError — never crashes, never hangs, never reads out of bounds
+// (the ASan/UBSan CI job runs this suite). On top of that sits the
+// round-trip property: whatever JsonWriter emits, the parser reads back
+// value-identically, including 64-bit integers, control characters, and
+// \u escapes. All randomness is seed-pinned through the repo's own Rng, so
+// every failure is reproducible from the test log.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json.hpp"
+#include "service/service.hpp"
+#include "support/rng.hpp"
+
+namespace dtop::service {
+namespace {
+
+// Random text over a byte alphabet that includes quotes, braces,
+// backslashes, control characters, and high bytes — the characters most
+// likely to confuse an escaping bug.
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  static const char kSpice[] = "\"\\{}[],:\n\r\t\b\f";
+  const std::size_t len = rng.next_below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (rng.next_below(4)) {
+      case 0:
+        out += static_cast<char>('a' + rng.next_below(26));
+        break;
+      case 1:
+        out += kSpice[rng.next_below(sizeof(kSpice) - 1)];
+        break;
+      case 2:
+        out += static_cast<char>(rng.next_below(0x20));  // control chars
+        break;
+      default:
+        out += static_cast<char>(rng.next_below(256));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string random_key(Rng& rng, int salt) {
+  // Unique per field (the parser rejects duplicates) but adversarial in
+  // content: a spicy random prefix plus a uniquifying suffix.
+  return random_bytes(rng, 6) + "k" + std::to_string(salt);
+}
+
+// Never crashes and never accepts-and-corrupts: either a parsed object or
+// a JsonError. Anything else (segfault, other exception, hang) fails the
+// test or the sanitizer.
+void must_parse_or_reject(const std::string& line) {
+  try {
+    (void)parse_json_object(line);
+  } catch (const JsonError&) {
+  }
+}
+
+TEST(JsonFuzz, WriterParserRoundTripPreservesEveryFieldKind) {
+  Rng rng(0x5eed);
+  for (int iter = 0; iter < 500; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    const int fields = static_cast<int>(rng.next_below(9));
+    JsonWriter w;
+    std::vector<std::string> keys;
+    std::vector<JsonValue> values;
+    for (int f = 0; f < fields; ++f) {
+      const std::string key = random_key(rng, f);
+      keys.push_back(key);
+      JsonValue v;
+      switch (rng.next_below(4)) {
+        case 0: {
+          v.kind = JsonValue::Kind::kString;
+          v.text = random_bytes(rng, 24);
+          w.field(key, v.text);
+          break;
+        }
+        case 1: {
+          v.kind = JsonValue::Kind::kNumber;
+          const std::uint64_t n = rng.next_u64();
+          v.text = std::to_string(n);
+          w.field(key, n);
+          break;
+        }
+        case 2: {
+          v.kind = JsonValue::Kind::kNumber;
+          const std::int64_t n =
+              static_cast<std::int64_t>(rng.next_u64());
+          v.text = std::to_string(n);
+          w.field(key, n);
+          break;
+        }
+        default: {
+          v.kind = JsonValue::Kind::kBool;
+          v.boolean = rng.next_bool();
+          w.field(key, v.boolean);
+          break;
+        }
+      }
+      values.push_back(v);
+    }
+    const std::string line = w.str();
+    const JsonObject parsed = parse_json_object(line);
+    ASSERT_EQ(parsed.size(), static_cast<std::size_t>(fields)) << line;
+    for (int f = 0; f < fields; ++f) {
+      const JsonValue* got = parsed.find(keys[f]);
+      ASSERT_NE(got, nullptr) << line;
+      EXPECT_EQ(got->kind, values[f].kind) << line;
+      if (values[f].kind == JsonValue::Kind::kString) {
+        EXPECT_EQ(got->text, values[f].text);
+      } else if (values[f].kind == JsonValue::Kind::kNumber) {
+        // Integers survive exactly: the raw decimal token is preserved, so
+        // 64-bit seeds never take the double round trip.
+        EXPECT_EQ(got->text, values[f].text);
+      } else {
+        EXPECT_EQ(got->boolean, values[f].boolean);
+      }
+    }
+  }
+}
+
+TEST(JsonFuzz, EveryTruncationOfAValidLineIsRejectedCleanly) {
+  JsonWriter w;
+  const std::string line = w.field("op", "determine")
+                               .field("family", "torus")
+                               .field("nodes", std::uint64_t{16})
+                               .field("deep", false)
+                               .field("note", std::string("a\"b\\c\nd\te\x01") + "f")
+                               .str();
+  ASSERT_NO_THROW((void)parse_json_object(line));
+  for (std::size_t cut = 0; cut < line.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    EXPECT_THROW((void)parse_json_object(line.substr(0, cut)), JsonError);
+  }
+}
+
+TEST(JsonFuzz, RandomMutationsNeverCrashTheParser) {
+  Rng rng(0xf522);
+  JsonWriter w;
+  const std::string base = w.field("op", "sweep")
+                               .field("families", "torus,debruijn")
+                               .field("sizes", "8..32:8")
+                               .field("seeds", std::uint64_t{18446744073709551615ull})
+                               .field("quiet", true)
+                               .str();
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = rng.next_below(mutated.size());
+      switch (rng.next_below(3)) {
+        case 0:  // flip
+          mutated[at] = static_cast<char>(rng.next_below(256));
+          break;
+        case 1:  // insert
+          mutated.insert(at, 1, static_cast<char>(rng.next_below(256)));
+          break;
+        default:  // delete
+          mutated.erase(at, 1);
+          break;
+      }
+    }
+    must_parse_or_reject(mutated);
+  }
+}
+
+TEST(JsonFuzz, PureGarbageNeverCrashesTheParser) {
+  Rng rng(0xdead);
+  for (int iter = 0; iter < 2000; ++iter) {
+    must_parse_or_reject(random_bytes(rng, 64));
+  }
+  // A few classic hand-picked corners on top of the random ones.
+  for (const char* line :
+       {"", "{", "}", "{}", "{\"", "{\"a\"", "{\"a\":", "{\"a\":}",
+        "{\"a\": 1,}", "{\"a\": 1", "null", "{\"a\": --1}", "{\"a\": 1e}",
+        "{\"a\": \"\\u12\"}", "{\"a\": \"\\ud800\"}", "{\"a\": \"\\x\"}",
+        "{\"a\": tru}", "{\"a\": nulll}", "\xff\xfe{\"a\": 1}",
+        "{\"a\": 1}{\"b\": 2}"}) {
+    SCOPED_TRACE(line);
+    must_parse_or_reject(line);
+  }
+}
+
+TEST(JsonFuzz, OversizedInputsParseOrRejectWithoutHanging) {
+  // A 2 MiB string value round-trips (the daemon ships whole dtop-graph
+  // texts in one field)...
+  std::string big(2 << 20, 'x');
+  big[1000] = '"';  // force real escaping work
+  big[2000] = '\\';
+  JsonWriter w;
+  const std::string line = w.field("graph", big).str();
+  const JsonObject parsed = parse_json_object(line);
+  EXPECT_EQ(parsed.get_string("graph"), big);
+
+  // ...a 10k-field object parses...
+  std::string many = "{";
+  for (int f = 0; f < 10000; ++f) {
+    many += (f ? ", \"k" : "\"k") + std::to_string(f) + "\": " +
+            std::to_string(f);
+  }
+  many += "}";
+  const JsonObject wide = parse_json_object(many);
+  EXPECT_EQ(wide.size(), 10000u);
+  EXPECT_EQ(wide.get_u64("k9999", 0), 9999u);
+
+  // ...and a megabyte of unterminated string is a clean rejection, not a
+  // hang or overread.
+  EXPECT_THROW((void)parse_json_object("{\"a\": \"" + std::string(1 << 20, 'y')),
+               JsonError);
+}
+
+// The full service stack on top of the parser: garbage requests become
+// structured error responses, and the daemon keeps serving afterwards.
+TEST(JsonFuzz, ServiceAnswersEveryMalformedLineAndStaysUp) {
+  Rng rng(0xbadbeef);
+  Service svc(ServiceOptions{});
+  int served = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string line = random_bytes(rng, 48);
+    // The transport splits on newlines; submitted lines never contain them.
+    for (char& c : line) {
+      if (c == '\n' || c == '\r') c = '?';
+    }
+    const std::string resp = svc.call(line);
+    EXPECT_NE(resp.find("\"ok\": false"), std::string::npos) << line;
+    ++served;
+  }
+  // Structurally valid, semantically hostile.
+  for (const char* line :
+       {R"({"op": "determine"})",
+        R"({"op": "determine", "family": "nope", "nodes": 9})",
+        R"({"op": "determine", "family": "torus", "nodes": 0})",
+        R"({"op": "determine", "family": "torus", "nodes": 99999999999})",
+        R"({"op": "determine", "graph": "dtop-graph v1 garbage"})",
+        R"({"op": "determine", "family": "torus", "graph": "both"})",
+        R"({"op": "sweep", "families": "torus", "sizes": "1"})",
+        R"({"op": "sweep", "sizes": "8..4"})",
+        R"({"op": "verify", "family": "torus", "nodes": 9})",
+        R"({"op": 17})", R"({"op": ""})"}) {
+    SCOPED_TRACE(line);
+    const std::string resp = svc.call(line);
+    EXPECT_NE(resp.find("\"ok\": false"), std::string::npos) << resp;
+  }
+  // Still alive: a well-formed request succeeds after all of the abuse.
+  const std::string ok = svc.call(
+      R"({"op": "determine", "family": "torus", "nodes": 9, "include_map": false})");
+  EXPECT_NE(ok.find("\"ok\": true"), std::string::npos) << ok;
+  (void)served;
+}
+
+}  // namespace
+}  // namespace dtop::service
