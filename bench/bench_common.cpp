@@ -56,7 +56,7 @@ std::vector<runner::JobResult> run_family_sweep(
 
 std::vector<NodeId> default_sizes() {
   const char* quick = std::getenv("DTOP_BENCH_QUICK");
-  if (quick && *quick) return {16, 32};
+  if (quick && *quick) return {16, 32, 64};
   return {16, 32, 64, 96, 128};
 }
 

@@ -1,92 +1,8 @@
-#include <algorithm>
-#include <set>
-
 #include "baseline/baseline.hpp"
+#include "baseline/machines.hpp"
 #include "sim/engine.hpp"
 
 namespace dtop {
-namespace {
-
-// Wire message: a wake pulse, an optional neighbour announcement, and an
-// unbounded batch of edge records (the "unbounded message" idealization).
-struct IdealMessage {
-  bool wake = false;
-  bool announce = false;
-  NodeId announce_id = kNoNode;
-  Port announce_port = 0;
-  std::vector<EdgeRecord> records;
-};
-
-class IdealMachine {
- public:
-  using Message = IdealMessage;
-  struct Config {};
-
-  IdealMachine(const MachineEnv& env, const Config&) : env_(env) {
-    // Baselines live in the unique-ID model; the id comes from the
-    // simulator environment.
-    id_ = env.debug_id;
-  }
-
-  void step(StepContext<Message>& ctx) {
-    bool woke_now = false;
-    if (env_.is_root && !awake_) {
-      awake_ = true;
-      woke_now = true;
-    }
-    std::vector<EdgeRecord> fresh;
-    for (Port p = 0; p < env_.delta; ++p) {
-      const Message* in = ctx.input(p);
-      if (!in) continue;
-      if (!awake_) {
-        awake_ = true;
-        woke_now = true;
-      }
-      if (in->announce) {
-        fresh.push_back(
-            EdgeRecord{in->announce_id, in->announce_port, id_, p});
-      }
-      for (const EdgeRecord& r : in->records)
-        fresh.push_back(r);
-    }
-    std::vector<EdgeRecord> news;
-    for (const EdgeRecord& r : fresh)
-      if (known_.insert(r).second) news.push_back(r);
-
-    if (woke_now) {
-      // Spread the wake and announce ourselves on every out-port.
-      for (Port p = 0; p < env_.delta; ++p) {
-        if (!(env_.out_mask & (1u << p))) continue;
-        Message& m = ctx.out(p);
-        m.wake = true;
-        m.announce = true;
-        m.announce_id = id_;
-        m.announce_port = p;
-      }
-    }
-    if (!news.empty()) {
-      for (Port p = 0; p < env_.delta; ++p) {
-        if (!(env_.out_mask & (1u << p))) continue;
-        Message& m = ctx.out(p);
-        m.records.insert(m.records.end(), news.begin(), news.end());
-      }
-    }
-  }
-
-  bool idle() const { return true; }        // purely input-driven
-  bool terminated() const { return false; }  // harness decides completion
-
-  std::size_t record_count() const { return known_.size(); }
-  const std::set<EdgeRecord>& records() const { return known_; }
-
- private:
-  MachineEnv env_;
-  NodeId id_ = kNoNode;
-  bool awake_ = false;
-  std::set<EdgeRecord> known_;
-};
-
-}  // namespace
 
 BaselineResult run_ideal_gather(const PortGraph& g, NodeId root,
                                 Tick max_ticks) {

@@ -1,89 +1,8 @@
-#include <deque>
-#include <set>
-
 #include "baseline/baseline.hpp"
+#include "baseline/machines.hpp"
 #include "sim/engine.hpp"
 
 namespace dtop {
-namespace {
-
-// Word-sized wire message: at most one edge record per wire per tick.
-struct LsMessage {
-  bool wake = false;
-  bool announce = false;
-  NodeId announce_id = kNoNode;
-  Port announce_port = 0;
-  bool has_record = false;
-  EdgeRecord record;
-};
-
-class LinkStateMachine {
- public:
-  using Message = LsMessage;
-  struct Config {};
-
-  LinkStateMachine(const MachineEnv& env, const Config&) : env_(env) {
-    id_ = env.debug_id;
-  }
-
-  void step(StepContext<Message>& ctx) {
-    bool woke_now = false;
-    if (env_.is_root && !awake_) {
-      awake_ = true;
-      woke_now = true;
-    }
-    for (Port p = 0; p < env_.delta; ++p) {
-      const Message* in = ctx.input(p);
-      if (!in) continue;
-      if (!awake_) {
-        awake_ = true;
-        woke_now = true;
-      }
-      if (in->announce) {
-        const EdgeRecord r{in->announce_id, in->announce_port, id_, p};
-        if (known_.insert(r).second) pending_.push_back(r);
-      }
-      if (in->has_record && known_.insert(in->record).second)
-        pending_.push_back(in->record);
-    }
-    if (woke_now) {
-      for (Port p = 0; p < env_.delta; ++p) {
-        if (!(env_.out_mask & (1u << p))) continue;
-        Message& m = ctx.out(p);
-        m.wake = true;
-        m.announce = true;
-        m.announce_id = id_;
-        m.announce_port = p;
-      }
-    }
-    // Bounded bandwidth: relay one record per tick on all out-ports.
-    if (!pending_.empty()) {
-      const EdgeRecord r = pending_.front();
-      pending_.pop_front();
-      for (Port p = 0; p < env_.delta; ++p) {
-        if (!(env_.out_mask & (1u << p))) continue;
-        Message& m = ctx.out(p);
-        m.has_record = true;
-        m.record = r;
-      }
-    }
-  }
-
-  bool idle() const { return pending_.empty(); }
-  bool terminated() const { return false; }
-
-  std::size_t record_count() const { return known_.size(); }
-  const std::set<EdgeRecord>& records() const { return known_; }
-
- private:
-  MachineEnv env_;
-  NodeId id_ = kNoNode;
-  bool awake_ = false;
-  std::set<EdgeRecord> known_;
-  std::deque<EdgeRecord> pending_;
-};
-
-}  // namespace
 
 BaselineResult run_link_state(const PortGraph& g, NodeId root,
                               Tick max_ticks) {

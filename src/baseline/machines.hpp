@@ -1,0 +1,173 @@
+// The baseline mapper machines (see baseline.hpp for the model they run
+// in). Exposed as a header — rather than hidden in the run_* translation
+// units — so machine-contract tests can instantiate them directly: the
+// engine's active-set scheduling is only sound if *every* machine type
+// honours the idle-step no-op contract (sim/engine.hpp), and that contract
+// is tested per machine, not per protocol.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "sim/engine.hpp"
+
+namespace dtop {
+
+// Wire message: a wake pulse, an optional neighbour announcement, and an
+// unbounded batch of edge records (the "unbounded message" idealization).
+struct IdealMessage {
+  bool wake = false;
+  bool announce = false;
+  NodeId announce_id = kNoNode;
+  Port announce_port = 0;
+  std::vector<EdgeRecord> records;
+};
+
+class IdealMachine {
+ public:
+  using Message = IdealMessage;
+  struct Config {};
+
+  IdealMachine(const MachineEnv& env, const Config&) : env_(env) {
+    // Baselines live in the unique-ID model; the id comes from the
+    // simulator environment.
+    id_ = env.debug_id;
+  }
+
+  void step(StepContext<Message>& ctx) {
+    bool woke_now = false;
+    if (env_.is_root && !awake_) {
+      awake_ = true;
+      woke_now = true;
+    }
+    std::vector<EdgeRecord> fresh;
+    for (Port p = 0; p < env_.delta; ++p) {
+      const Message* in = ctx.input(p);
+      if (!in) continue;
+      if (!awake_) {
+        awake_ = true;
+        woke_now = true;
+      }
+      if (in->announce) {
+        fresh.push_back(
+            EdgeRecord{in->announce_id, in->announce_port, id_, p});
+      }
+      for (const EdgeRecord& r : in->records)
+        fresh.push_back(r);
+    }
+    std::vector<EdgeRecord> news;
+    for (const EdgeRecord& r : fresh)
+      if (known_.insert(r).second) news.push_back(r);
+
+    if (woke_now) {
+      // Spread the wake and announce ourselves on every out-port.
+      for (Port p = 0; p < env_.delta; ++p) {
+        if (!(env_.out_mask & (1u << p))) continue;
+        Message& m = ctx.out(p);
+        m.wake = true;
+        m.announce = true;
+        m.announce_id = id_;
+        m.announce_port = p;
+      }
+    }
+    if (!news.empty()) {
+      for (Port p = 0; p < env_.delta; ++p) {
+        if (!(env_.out_mask & (1u << p))) continue;
+        Message& m = ctx.out(p);
+        m.records.insert(m.records.end(), news.begin(), news.end());
+      }
+    }
+  }
+
+  bool idle() const { return true; }        // purely input-driven
+  bool terminated() const { return false; }  // harness decides completion
+
+  std::size_t record_count() const { return known_.size(); }
+  const std::set<EdgeRecord>& records() const { return known_; }
+
+ private:
+  MachineEnv env_;
+  NodeId id_ = kNoNode;
+  bool awake_ = false;
+  std::set<EdgeRecord> known_;
+};
+
+// Word-sized wire message: at most one edge record per wire per tick.
+struct LsMessage {
+  bool wake = false;
+  bool announce = false;
+  NodeId announce_id = kNoNode;
+  Port announce_port = 0;
+  bool has_record = false;
+  EdgeRecord record;
+};
+
+class LinkStateMachine {
+ public:
+  using Message = LsMessage;
+  struct Config {};
+
+  LinkStateMachine(const MachineEnv& env, const Config&) : env_(env) {
+    id_ = env.debug_id;
+  }
+
+  void step(StepContext<Message>& ctx) {
+    bool woke_now = false;
+    if (env_.is_root && !awake_) {
+      awake_ = true;
+      woke_now = true;
+    }
+    for (Port p = 0; p < env_.delta; ++p) {
+      const Message* in = ctx.input(p);
+      if (!in) continue;
+      if (!awake_) {
+        awake_ = true;
+        woke_now = true;
+      }
+      if (in->announce) {
+        const EdgeRecord r{in->announce_id, in->announce_port, id_, p};
+        if (known_.insert(r).second) pending_.push_back(r);
+      }
+      if (in->has_record && known_.insert(in->record).second)
+        pending_.push_back(in->record);
+    }
+    if (woke_now) {
+      for (Port p = 0; p < env_.delta; ++p) {
+        if (!(env_.out_mask & (1u << p))) continue;
+        Message& m = ctx.out(p);
+        m.wake = true;
+        m.announce = true;
+        m.announce_id = id_;
+        m.announce_port = p;
+      }
+    }
+    // Bounded bandwidth: relay one record per tick on all out-ports.
+    if (!pending_.empty()) {
+      const EdgeRecord r = pending_.front();
+      pending_.pop_front();
+      for (Port p = 0; p < env_.delta; ++p) {
+        if (!(env_.out_mask & (1u << p))) continue;
+        Message& m = ctx.out(p);
+        m.has_record = true;
+        m.record = r;
+      }
+    }
+  }
+
+  bool idle() const { return pending_.empty(); }
+  bool terminated() const { return false; }
+
+  std::size_t record_count() const { return known_.size(); }
+  const std::set<EdgeRecord>& records() const { return known_; }
+
+ private:
+  MachineEnv env_;
+  NodeId id_ = kNoNode;
+  bool awake_ = false;
+  std::set<EdgeRecord> known_;
+  std::deque<EdgeRecord> pending_;
+};
+
+}  // namespace dtop

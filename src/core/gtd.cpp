@@ -43,7 +43,7 @@ GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt) {
   cfg.transcript = &result.transcript;
   cfg.observer = opt.observer;
 
-  GtdEngine engine(g, root, cfg, opt.num_threads);
+  GtdEngine engine(g, root, cfg, opt.num_threads, opt.arena);
   if (opt.trace) {
     opt.trace->begin(g, root, opt.protocol);
     engine.set_trace_sink(opt.trace);
@@ -75,6 +75,7 @@ GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt) {
     }
   }
   result.stats = engine.stats();
+  result.stats.peak_rss_kb = peak_rss_kb();
 
   MapBuilder builder(g.delta());
   builder.consume_all(result.transcript);

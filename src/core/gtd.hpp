@@ -16,6 +16,7 @@
 #include "graph/port_graph.hpp"
 #include "proto/gtd_machine.hpp"
 #include "sim/engine.hpp"
+#include "support/arena.hpp"
 #include "trace/recorder.hpp"
 
 namespace dtop {
@@ -28,6 +29,14 @@ struct GtdOptions {
   Tick max_ticks = 0;
   ProtoObserver* observer = nullptr;  // requires num_threads == 1
   bool audit_end_state = true;        // check Lemma 4.2 pristineness
+
+  // Arena the run's engine state lives in. nullptr = the engine owns a
+  // private per-run arena. Long-lived callers (runner workers, dtopd
+  // request workers) pass a warm per-worker arena and reset it between
+  // runs, so repeat runs reuse the high-water footprint instead of
+  // churning the allocator. The arena must not be shared with a
+  // concurrently running engine.
+  Arena* arena = nullptr;
 
   // Trace-surgery edits: each injection places its rogue character in
   // flight when the engine clock reads `at`. This is the one perturbation
@@ -96,6 +105,8 @@ struct ReplayResult {
 // the code changed behaviour; both are exactly what replay exists to catch.
 // A trace without a terminal kRunEnd records a run that died in a protocol
 // violation: replay then expects to reproduce that violation.
-ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads = 1);
+// `arena` follows the GtdOptions::arena contract (nullptr = engine-owned).
+ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads = 1,
+                        Arena* arena = nullptr);
 
 }  // namespace dtop

@@ -18,7 +18,8 @@ bool is_external(trace::TraceEventKind k) {
 
 }  // namespace
 
-ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads) {
+ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads,
+                        Arena* arena) {
   DTOP_REQUIRE(num_threads >= 1, "num_threads >= 1");
   ReplayResult rr;
 
@@ -55,7 +56,7 @@ ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads) {
   cfg.transcript = &rr.transcript;
   if (has_spans) cfg.observer = &live;
 
-  GtdEngine engine(h.graph, h.root, cfg, num_threads);
+  GtdEngine engine(h.graph, h.root, cfg, num_threads, arena);
   live.begin(h.graph, h.root, h.config);
   engine.set_trace_sink(&live);
   rr.transcript.set_tap(&live);

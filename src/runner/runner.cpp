@@ -37,10 +37,13 @@ GtdOptions job_options(const JobSpec& job, const PortGraph& g) {
 // reproduces the failure — including a mid-run protocol violation, whose
 // partial trace is written without a terminal record.
 void capture_failure_trace(const JobSpec& job, const PortGraph& g,
-                           const std::string& trace_dir, JobResult& r) {
+                           const std::string& trace_dir, JobResult& r,
+                           Arena* arena) {
   trace::TraceRecorder rec;
   GtdOptions opt = job_options(job, g);
   opt.trace = &rec;
+  if (arena) arena->reset();  // the failed run's engine is gone by now
+  opt.arena = arena;
   try {
     (void)run_gtd(g, job.root, opt);
   } catch (const std::exception&) {
@@ -79,7 +82,8 @@ std::size_t CampaignResult::failed() const {
   return n;
 }
 
-JobResult run_job(const JobSpec& job, const std::string& trace_dir) {
+JobResult run_job(const JobSpec& job, const std::string& trace_dir,
+                  Arena* arena) {
   JobResult r;
   r.spec = job;
   const auto t0 = std::chrono::steady_clock::now();
@@ -97,7 +101,10 @@ JobResult run_job(const JobSpec& job, const std::string& trace_dir) {
                  "root " + std::to_string(job.root) + " out of range for " +
                      fi.label);
 
-    const GtdResult res = run_gtd(g, job.root, job_options(job, g));
+    GtdOptions opt = job_options(job, g);
+    if (arena) arena->reset();  // previous job's engine state is dead
+    opt.arena = arena;
+    const GtdResult res = run_gtd(g, job.root, opt);
     const bool injected =
         !job.scenario.is_injection() || res.injections_applied > 0;
 
@@ -136,7 +143,7 @@ JobResult run_job(const JobSpec& job, const std::string& trace_dir) {
     r.detail = e.what();
   }
   if (!r.ok() && !trace_dir.empty() && graph_ready) {
-    capture_failure_trace(job, g, trace_dir, r);
+    capture_failure_trace(job, g, trace_dir, r, arena);
   }
   r.wall_ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - t0)
@@ -156,18 +163,24 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   const int threads = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(opt.threads), std::max<std::size_t>(jobs.size(), 1)));
   ThreadPool pool(threads);
+  // One arena per worker, reused (reset) across every job the worker
+  // claims: engine state for job k+1 lives in the blocks job k warmed up.
+  std::vector<Arena> arenas;
+  arenas.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) arenas.emplace_back();
   std::atomic<std::size_t> next{0};
   std::size_t done = 0;
   std::mutex mu;  // serializes progress reporting and the done counter
 
-  pool.run([&](int) {
+  pool.run([&](int t) {
+    Arena* arena = &arenas[static_cast<std::size_t>(t)];
     for (;;) {
       if (opt.cancel && opt.cancel->load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       // Never throws: failures land in the result.
       out.jobs[i] = opt.execute ? opt.execute(jobs[i], opt.trace_dir)
-                                : run_job(jobs[i], opt.trace_dir);
+                                : run_job(jobs[i], opt.trace_dir, arena);
       if (opt.progress) {
         std::lock_guard<std::mutex> lock(mu);
         opt.progress(out.jobs[i], ++done, jobs.size());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "runner/campaign.hpp"
+#include "support/arena.hpp"
 
 namespace dtop::runner {
 
@@ -86,8 +87,13 @@ struct RunnerOptions {
 };
 
 // Executes one job. Never throws: every failure mode lands in the result.
-// `trace_dir` as in RunnerOptions.
-JobResult run_job(const JobSpec& job, const std::string& trace_dir = {});
+// `trace_dir` as in RunnerOptions. `arena` is reset and reused for the
+// job's engine state when given (the campaign executor passes one warm
+// arena per worker thread, so a 10k-job sweep allocates engine state from
+// the heap only until each worker reaches its high-water footprint);
+// nullptr = per-job engine-owned arena.
+JobResult run_job(const JobSpec& job, const std::string& trace_dir = {},
+                  Arena* arena = nullptr);
 
 // Expands and executes the whole campaign.
 CampaignResult run_campaign(const CampaignSpec& spec,

@@ -91,10 +91,12 @@ namespace {
 // non-exact outcome so only verified results ever reach the cache.
 CachedMap execute_determine(const PortGraph& g, NodeId root,
                             const runner::EngineConfig& config, Tick max_ticks,
-                            const std::string& label) {
+                            const std::string& label, Arena* arena) {
   GtdOptions gopt;
   gopt.protocol = config.protocol;
   gopt.max_ticks = max_ticks;
+  if (arena) arena->reset();  // previous request's engine state is dead
+  gopt.arena = arena;
   const GtdResult res = run_gtd(g, root, gopt);
   if (res.status != RunStatus::kTerminated) {
     throw DetermineError("budget", "tick budget exhausted after " +
@@ -129,12 +131,14 @@ std::string capture_determine_trace(const PortGraph& g, NodeId root,
                                     const runner::EngineConfig& config,
                                     Tick max_ticks,
                                     const std::string& trace_dir,
-                                    std::uint64_t ticket) {
+                                    std::uint64_t ticket, Arena* arena) {
   trace::TraceRecorder rec;
   GtdOptions gopt;
   gopt.protocol = config.protocol;
   gopt.max_ticks = max_ticks;
   gopt.trace = &rec;
+  if (arena) arena->reset();  // the failed run's engine is gone by now
+  gopt.arena = arena;
   try {
     (void)run_gtd(g, root, gopt);
   } catch (const std::exception&) {
@@ -165,10 +169,12 @@ std::vector<NodeId> parse_sizes(const std::string& text) {
 Service::Service(const ServiceOptions& opt)
     : opt_(opt), cache_(opt.cache_capacity), pool_(opt.workers) {
   DTOP_REQUIRE(opt.workers >= 1, "service workers must be >= 1");
+  arenas_.reserve(static_cast<std::size_t>(opt.workers));
+  for (int w = 0; w < opt.workers; ++w) arenas_.emplace_back();
   pump_ = std::thread([this] {
-    pool_.run([this](int) {
+    pool_.run([this](int w) {
       while (auto job = queue_.pop()) {
-        job->promise.set_value(handle_line(job->line, job->ticket));
+        job->promise.set_value(handle_line(job->line, job->ticket, w));
       }
     });
   });
@@ -223,7 +229,7 @@ std::string Service::wait(std::uint64_t ticket) {
 std::string Service::call(const std::string& line) { return wait(submit(line)); }
 
 std::string Service::handle_line(const std::string& line,
-                                 std::uint64_t ticket) {
+                                 std::uint64_t ticket, int worker) {
   std::string op;
   std::string id;
   try {
@@ -232,7 +238,7 @@ std::string Service::handle_line(const std::string& line,
     op = req.require_string("op");
     if (op == "determine") {
       served_.determine.fetch_add(1, std::memory_order_relaxed);
-      return handle_determine(req, id, ticket);
+      return handle_determine(req, id, ticket, worker);
     }
     if (op == "verify") {
       served_.verify.fetch_add(1, std::memory_order_relaxed);
@@ -266,7 +272,8 @@ std::string Service::handle_line(const std::string& line,
 
 std::string Service::handle_determine(const JsonObject& req,
                                       const std::string& id,
-                                      std::uint64_t ticket) {
+                                      std::uint64_t ticket, int worker) {
+  Arena* arena = &arenas_[static_cast<std::size_t>(worker)];
   std::string label;
   const PortGraph g = request_graph(req, &label);
   const NodeId root = request_root(req, g);
@@ -289,7 +296,9 @@ std::string Service::handle_determine(const JsonObject& req,
     // generously-budgeted concurrent twin.
     const CachedMap r = cache_.get_or_compute(
         key,
-        [&] { return execute_determine(g, root, config, max_ticks, label); },
+        [&] {
+          return execute_determine(g, root, config, max_ticks, label, arena);
+        },
         &outcome, static_cast<std::uint64_t>(max_ticks));
     w.field("ok", true)
         .field("status", "exact")
@@ -323,7 +332,7 @@ std::string Service::handle_determine(const JsonObject& req,
   }
   if (!opt_.trace_dir.empty()) {
     const std::string path = capture_determine_trace(
-        g, root, config, max_ticks, opt_.trace_dir, ticket);
+        g, root, config, max_ticks, opt_.trace_dir, ticket, arena);
     if (!path.empty()) w.field("trace", path);
   }
   return w.str();

@@ -37,10 +37,12 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "service/job_queue.hpp"
 #include "service/json.hpp"
 #include "service/result_cache.hpp"
+#include "support/arena.hpp"
 #include "support/thread_pool.hpp"
 
 namespace dtop::service {
@@ -125,10 +127,13 @@ class Service {
   };
 
   // Never throws: every failure becomes an ok=false response line.
-  std::string handle_line(const std::string& line, std::uint64_t ticket);
+  // `worker` is the executing pool-worker index; it selects the per-worker
+  // arena and never influences the response (determinism contract).
+  std::string handle_line(const std::string& line, std::uint64_t ticket,
+                          int worker);
 
   std::string handle_determine(const JsonObject& req, const std::string& id,
-                               std::uint64_t ticket);
+                               std::uint64_t ticket, int worker);
   std::string handle_verify(const JsonObject& req, const std::string& id);
   std::string handle_sweep(const JsonObject& req, const std::string& id,
                            std::uint64_t ticket);
@@ -136,6 +141,10 @@ class Service {
 
   ServiceOptions opt_;
   ResultCache cache_;
+  // One arena per pool worker, reused (reset) across the requests that
+  // worker executes: a long-lived daemon stops churning the allocator once
+  // each worker's arena reaches its high-water footprint.
+  std::vector<Arena> arenas_;
   JobQueue<Job> queue_;
   ThreadPool pool_;
   std::thread pump_;  // runs pool_.run(worker loop) for the Service lifetime

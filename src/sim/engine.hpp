@@ -8,25 +8,60 @@
 // change any observable behaviour — each node writes only its own out-wires —
 // so the parallel engine is bit-identical to the sequential one (tested).
 //
-// The engine is an *active-set* simulator: a node is stepped at tick t only
-// if it received a character at t or declared itself non-idle at t-1.
+// The engine is an *active-set* simulator. The activation contract (the one
+// place it is documented; docs/ARCHITECTURE.md and ROADMAP.md link here):
+//
+//   A node is stepped at tick t iff it received a character at t (some
+//   in-wire carried a non-blank sent at t-1, or a test injected one) or it
+//   declared itself non-idle at t-1 (idle() returned false after its step).
+//
 // Stepping an idle node on blank inputs must be a no-op (machine contract;
-// property-tested), so skipping is invisible.
+// property-tested per machine type), so skipping is invisible: traces,
+// transcripts, and stats are identical to a dense sweep that steps every
+// node every tick.
+//
+// Memory layout: every piece of per-run state — machine array, the two
+// wire-message/present buffers, the flattened port->wire tables, dirty
+// lists, active/pending sets, and the per-thread scratch — lives in one
+// Arena in struct-of-arrays form. A tick walks contiguous arrays, and once
+// capacities have warmed up (first few ticks), a steady-state tick performs
+// zero heap allocations on the stepping thread; EngineStats::allocs makes
+// that a checkable number. The arena can be caller-owned (runner workers
+// and dtopd reuse one arena's high-water footprint across runs) or
+// engine-owned when none is supplied.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <memory>
-#include <vector>
+#include <optional>
+#include <utility>
 
 #include "graph/port_graph.hpp"
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
-#include "support/thread_pool.hpp"
 #include "sim/trace_sink.hpp"
+#include "support/alloc_hook.hpp"
+#include "support/arena.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dtop {
+
+// Per-thread effect lists, sized at engine construction so the hot path can
+// append without bounds checks: a stepped node contributes at most one
+// self-reschedule plus one target/dirty entry per out-wire, so a chunk of k
+// nodes writes <= k*(1+delta) sched and <= k*delta dirty entries. Buffers
+// carry one slot of slack because the branch-free resend path in
+// StepContext::out() stores unconditionally and only advances the length
+// for first-use sends. Cache-line aligned so workers never false-share.
+struct alignas(64) EngineScratch {
+  NodeId* sched = nullptr;
+  WireId* dirty = nullptr;
+  std::size_t sched_len = 0;
+  std::size_t dirty_len = 0;
+  std::uint64_t msgs = 0;
+};
 
 // Per-tick view a machine gets of its node: read-only inputs and merge-style
 // staged outputs. Lane writers obtain `out(p)` and fill their slot; the
@@ -41,31 +76,37 @@ class StepContext {
   const Message* input(Port p) const { return inputs_[p]; }
 
   // Staged output character for out-port p (created blank on first use).
-  // Requires the port to be connected.
+  // Requires the port to be connected. The common resend path (wire already
+  // carries a staged character this tick) is branch-free: stores are
+  // unconditional and `fresh` advances the scratch lengths by 0 or 1.
   Message& out(Port p) {
     const WireId w = out_wires_[p];
     DTOP_CHECK(w != kNoWire, "send on unconnected out-port");
-    if (!next_present_[w]) {
-      next_present_[w] = 1;
-      next_msgs_[w] = Message{};
-      dirty_->push_back(w);
-      to_schedule_->push_back(targets_[w]);
-      ++*message_count_;
-    }
-    return next_msgs_[w];
+    EngineScratch& s = *scratch_;
+    const std::uint8_t seen = next_present_[w];
+    const std::size_t fresh = static_cast<std::size_t>(1u - seen);
+    next_present_[w] = 1;
+    s.dirty[s.dirty_len] = w;
+    s.dirty_len += fresh;
+    s.sched[s.sched_len] = targets_[w];
+    s.sched_len += fresh;
+    s.msgs += fresh;
+    Message& slot = next_msgs_[w];
+    if (fresh) slot = Message{};  // blank-on-first-use; lanes merge into it
+    return slot;
   }
 
   bool out_connected(Port p) const { return out_wires_[p] != kNoWire; }
 
-  // Engine wiring (constructed per stepped node).
+  // Engine wiring (filled per stepped node). `out_wires_` points at the
+  // node's row of the flattened port->wire table: kMaxDegree entries,
+  // unconnected ports hold kNoWire.
   const Message* inputs_[kMaxDegree] = {};
-  WireId out_wires_[kMaxDegree];
+  const WireId* out_wires_ = nullptr;
   Message* next_msgs_ = nullptr;
   std::uint8_t* next_present_ = nullptr;
   const NodeId* targets_ = nullptr;
-  std::vector<WireId>* dirty_ = nullptr;
-  std::vector<NodeId>* to_schedule_ = nullptr;
-  std::uint64_t* message_count_ = nullptr;
+  EngineScratch* scratch_ = nullptr;
   Tick tick_ = 0;
 };
 
@@ -78,39 +119,92 @@ class SyncEngine {
   // Minimum active nodes per worker before a tick is split across the pool.
   static constexpr std::size_t kParallelGrain = 96;
 
+  // When `arena` is null the engine owns a private arena; a caller-supplied
+  // arena must outlive the engine and may be reset (and handed to a new
+  // engine) once this engine is destroyed — runner workers and dtopd reuse
+  // one warm arena per worker thread this way.
   SyncEngine(const PortGraph& g, NodeId root, const Config& cfg,
-             int num_threads = 1)
+             int num_threads = 1, Arena* arena = nullptr)
       : graph_(&g), root_(root), pool_(num_threads) {
     DTOP_REQUIRE(root < g.num_nodes(), "root out of range");
     g.validate();
+    if (arena) {
+      arena_ = arena;
+    } else {
+      owned_arena_.emplace();
+      arena_ = &*owned_arena_;
+    }
+
+    const std::size_t n = g.num_nodes();
     const std::size_t wire_slots = g.wire_slots();
+    const Port delta = g.delta();
+
     for (int b = 0; b < 2; ++b) {
+      msgs_[b].bind(*arena_);
       msgs_[b].resize(wire_slots);
+      present_[b].bind(*arena_);
       present_[b].assign(wire_slots, 0);
     }
-    targets_.resize(wire_slots, kNoNode);
+    targets_.bind(*arena_);
+    targets_.assign(wire_slots, kNoNode);
     for (WireId w : g.wire_ids()) targets_[w] = g.wire(w).to;
 
-    machines_.reserve(g.num_nodes());
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Flattened port->wire tables (row stride kMaxDegree, unconnected =
+    // kNoWire). The hot path indexes these contiguous rows instead of the
+    // graph's checked accessors; out-of-range ports still land on kNoWire
+    // and fail loud in out().
+    node_in_wires_.bind(*arena_);
+    node_in_wires_.assign(n * kMaxDegree, kNoWire);
+    node_out_wires_.bind(*arena_);
+    node_out_wires_.assign(n * kMaxDegree, kNoWire);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t row = std::size_t{v} * kMaxDegree;
+      for (Port p = 0; p < delta; ++p) {
+        node_in_wires_[row + p] = g.in_wire(v, p);
+        node_out_wires_[row + p] = g.out_wire(v, p);
+      }
+    }
+
+    machines_.bind(*arena_);
+    machines_.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
       MachineEnv env;
       env.is_root = (v == root);
-      env.delta = g.delta();
+      env.delta = delta;
       env.in_mask = g.in_mask(v);
       env.out_mask = g.out_mask(v);
       env.debug_id = v;
       machines_.emplace_back(env, cfg);
     }
-    sched_stamp_.assign(g.num_nodes(), -1);
-    thread_sched_.resize(static_cast<std::size_t>(pool_.size()));
-    thread_dirty_.resize(static_cast<std::size_t>(pool_.size()));
-    thread_msgs_.assign(static_cast<std::size_t>(pool_.size()), 0);
+    sched_stamp_.bind(*arena_);
+    sched_stamp_.assign(n, -1);
+    pending_.bind(*arena_);
+    active_.bind(*arena_);
+    cur_dirty_.bind(*arena_);
+    next_dirty_.bind(*arena_);
+
+    const std::size_t nthreads = static_cast<std::size_t>(pool_.size());
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    scratch_ = arena_->allocate_array<EngineScratch>(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      EngineScratch* s = ::new (&scratch_[t]) EngineScratch{};
+      // Scratch 0 also serves the small-tick inline path, which steps the
+      // whole active set on the calling thread.
+      const std::size_t nodes = t == 0 ? n : chunk;
+      s->sched = arena_->allocate_array<NodeId>(nodes * (1 + delta) + 1);
+      s->dirty = arena_->allocate_array<WireId>(nodes * delta + 1);
+    }
+
+    alloc_mark_ = heap_alloc_count();
   }
 
   const PortGraph& graph() const { return *graph_; }
   NodeId root() const { return root_; }
   Tick now() const { return tick_; }
   const EngineStats& stats() const { return stats_; }
+
+  // The arena this engine's state lives in (owned or caller-supplied).
+  const Arena& arena() const { return *arena_; }
 
   M& machine(NodeId v) { return machines_[v]; }
   const M& machine(NodeId v) const { return machines_[v]; }
@@ -168,10 +262,13 @@ class SyncEngine {
     // Deduplicate the active set (stable order not required: node updates
     // are independent).
     active_.clear();
-    for (NodeId v : pending_) {
-      if (sched_stamp_[v] != tick_) {
-        sched_stamp_[v] = tick_;
-        active_.push_back(v);
+    {
+      Tick* stamp = sched_stamp_.data();
+      for (NodeId v : pending_) {
+        if (stamp[v] != tick_) {
+          stamp[v] = tick_;
+          active_.push_back(v);
+        }
       }
     }
     pending_.clear();
@@ -180,34 +277,28 @@ class SyncEngine {
     // Granularity control: a fork-join per tick only pays off when there is
     // enough node work to split. Small active sets (the common case outside
     // snake floods) run inline; the result is bit-identical either way.
-    const int nthreads =
-        count >= kParallelGrain * 2 ? pool_.size() : 1;
+    const int nthreads = count >= kParallelGrain * 2 ? pool_.size() : 1;
     if (count > 0 && nthreads > 1) {
       pool_.run([&](int t) {
-        auto& sched = thread_sched_[static_cast<std::size_t>(t)];
-        auto& dirty = thread_dirty_[static_cast<std::size_t>(t)];
-        std::uint64_t msgs = 0;
-        const std::size_t begin =
-            count * static_cast<std::size_t>(t) / static_cast<std::size_t>(nthreads);
-        const std::size_t end =
-            count * static_cast<std::size_t>(t + 1) / static_cast<std::size_t>(nthreads);
-        for (std::size_t i = begin; i < end; ++i)
-          step_node(active_[i], sched, dirty, msgs);
-        thread_msgs_[static_cast<std::size_t>(t)] = msgs;
+        EngineScratch& s = scratch_[static_cast<std::size_t>(t)];
+        const std::size_t begin = count * static_cast<std::size_t>(t) /
+                                  static_cast<std::size_t>(nthreads);
+        const std::size_t end = count * static_cast<std::size_t>(t + 1) /
+                                static_cast<std::size_t>(nthreads);
+        const NodeId* act = active_.data();
+        for (std::size_t i = begin; i < end; ++i) step_node(act[i], s);
       });
     } else if (count > 0) {
-      auto& sched = thread_sched_[0];
-      auto& dirty = thread_dirty_[0];
-      std::uint64_t msgs = 0;
-      for (std::size_t i = 0; i < count; ++i)
-        step_node(active_[i], sched, dirty, msgs);
-      thread_msgs_[0] = msgs;
+      EngineScratch& s = scratch_[0];
+      const NodeId* act = active_.data();
+      for (std::size_t i = 0; i < count; ++i) step_node(act[i], s);
     }
 
     // Trace the tick's node activations before merging effects; active-set
     // order is itself a deterministic function of the previous merges.
     if (trace_) {
-      for (std::size_t i = 0; i < count; ++i) trace_->on_step(tick_, active_[i]);
+      for (std::size_t i = 0; i < count; ++i)
+        trace_->on_step(tick_, active_[i]);
     }
 
     // Merge thread-local effects (deterministic: sums and set-unions). Each
@@ -215,92 +306,110 @@ class SyncEngine {
     // the per-thread lists in thread order reproduces the order a sequential
     // scan of `active_` would have produced — the trace emitted here is
     // bit-identical at any thread count.
-    for (auto& sched : thread_sched_) {
-      pending_.insert(pending_.end(), sched.begin(), sched.end());
-      sched.clear();
+    const std::size_t pool_size = static_cast<std::size_t>(pool_.size());
+    for (std::size_t t = 0; t < pool_size; ++t) {
+      EngineScratch& s = scratch_[t];
+      pending_.append(s.sched, s.sched_len);
+      s.sched_len = 0;
     }
-    for (auto& dirty : thread_dirty_) {
+    for (std::size_t t = 0; t < pool_size; ++t) {
+      EngineScratch& s = scratch_[t];
       if (trace_) {
-        for (WireId w : dirty) trace_->on_send(tick_, w, msgs_[next_][w]);
+        for (std::size_t j = 0; j < s.dirty_len; ++j)
+          trace_->on_send(tick_, s.dirty[j], msgs_[next_][s.dirty[j]]);
       }
-      next_dirty_.insert(next_dirty_.end(), dirty.begin(), dirty.end());
-      dirty.clear();
-    }
-    for (auto& m : thread_msgs_) {
-      stats_.messages += m;
-      m = 0;
+      next_dirty_.append(s.dirty, s.dirty_len);
+      s.dirty_len = 0;
+      stats_.messages += s.msgs;
+      s.msgs = 0;
     }
 
     // The cur buffer has been fully consumed; clear it for reuse as the next
     // staging buffer.
-    for (WireId w : cur_dirty_) present_[cur_][w] = 0;
+    {
+      std::uint8_t* cur_present = present_[cur_].data();
+      for (WireId w : cur_dirty_) cur_present[w] = 0;
+    }
     cur_dirty_.clear();
-    std::swap(cur_dirty_, next_dirty_);
+    cur_dirty_.swap(next_dirty_);
 
     stats_.ticks = tick_;
     stats_.node_steps += count;
     stats_.sum_active += count;
     stats_.max_active = std::max<std::uint64_t>(stats_.max_active, count);
+    stats_.allocs = heap_alloc_count() - alloc_mark_;
 
     if (observer_) observer_(*this);
   }
 
   // Runs until the root machine terminates or the budget is exhausted.
   RunStatus run(Tick max_ticks) {
+    RunStatus status = RunStatus::kTickBudget;
     while (tick_ < max_ticks) {
       step();
-      if (machines_[root_].terminated()) return RunStatus::kTerminated;
+      if (machines_[root_].terminated()) {
+        status = RunStatus::kTerminated;
+        break;
+      }
     }
-    return RunStatus::kTickBudget;
+    stats_.peak_rss_kb = peak_rss_kb();
+    return status;
   }
 
  private:
-  void step_node(NodeId v, std::vector<NodeId>& sched,
-                 std::vector<WireId>& dirty, std::uint64_t& msgs) {
+  void step_node(NodeId v, EngineScratch& s) {
     StepContext<Message> ctx;
     ctx.tick_ = tick_;
+    const std::size_t row = std::size_t{v} * kMaxDegree;
+    const WireId* in_row = node_in_wires_.data() + row;
+    const Message* cur_msgs = msgs_[cur_].data();
+    const std::uint8_t* cur_present = present_[cur_].data();
     const Port delta = graph_->delta();
     for (Port p = 0; p < delta; ++p) {
-      const WireId in_w = graph_->in_wire(v, p);
-      ctx.inputs_[p] = (in_w != kNoWire && present_[cur_][in_w])
-                           ? &msgs_[cur_][in_w]
-                           : nullptr;
-      ctx.out_wires_[p] = graph_->out_wire(v, p);
+      const WireId in_w = in_row[p];
+      ctx.inputs_[p] =
+          (in_w != kNoWire && cur_present[in_w]) ? &cur_msgs[in_w] : nullptr;
     }
-    for (Port p = delta; p < kMaxDegree; ++p) ctx.out_wires_[p] = kNoWire;
+    ctx.out_wires_ = node_out_wires_.data() + row;
     ctx.next_msgs_ = msgs_[next_].data();
     ctx.next_present_ = present_[next_].data();
     ctx.targets_ = targets_.data();
-    ctx.dirty_ = &dirty;
-    ctx.to_schedule_ = &sched;
-    ctx.message_count_ = &msgs;
+    ctx.scratch_ = &s;
 
-    M& m = machines_[v];
+    M& m = machines_.data()[v];
     m.step(ctx);
-    if (!m.idle()) sched.push_back(v);
+    // Branch-free self-reschedule: store unconditionally, advance iff the
+    // machine stayed non-idle.
+    s.sched[s.sched_len] = v;
+    s.sched_len += static_cast<std::size_t>(!m.idle());
   }
+
+  // Declared first so it is destroyed last: the ArenaVectors below destroy
+  // their elements in storage the arena still owns.
+  std::optional<Arena> owned_arena_;
+  Arena* arena_ = nullptr;
 
   const PortGraph* graph_;
   NodeId root_;
   ThreadPool pool_;
-  std::vector<M> machines_;
+  ArenaVector<M> machines_;
 
   // Double-buffered wire state. Index cur_: readable this tick; next_:
   // staged for next tick.
-  std::vector<Message> msgs_[2];
-  std::vector<std::uint8_t> present_[2];
-  std::vector<WireId> cur_dirty_, next_dirty_;
+  ArenaVector<Message> msgs_[2];
+  ArenaVector<std::uint8_t> present_[2];
+  ArenaVector<WireId> cur_dirty_, next_dirty_;
   int cur_ = 0, next_ = 1;
-  std::vector<NodeId> targets_;
+  ArenaVector<NodeId> targets_;
+  ArenaVector<WireId> node_in_wires_, node_out_wires_;
 
-  std::vector<NodeId> pending_, active_;
-  std::vector<Tick> sched_stamp_;
-  std::vector<std::vector<NodeId>> thread_sched_;
-  std::vector<std::vector<WireId>> thread_dirty_;
-  std::vector<std::uint64_t> thread_msgs_;
+  ArenaVector<NodeId> pending_, active_;
+  ArenaVector<Tick> sched_stamp_;
+  EngineScratch* scratch_ = nullptr;
 
   Tick tick_ = 0;
   EngineStats stats_;
+  std::uint64_t alloc_mark_ = 0;
   std::function<void(SyncEngine&)> observer_;
   EngineTraceSink<Message>* trace_ = nullptr;
 };

@@ -13,7 +13,8 @@ double EngineStats::avg_active() const {
 std::string EngineStats::summary() const {
   std::ostringstream os;
   os << "ticks=" << ticks << " messages=" << messages
-     << " node_steps=" << node_steps << " max_active=" << max_active;
+     << " node_steps=" << node_steps << " max_active=" << max_active
+     << " allocs=" << allocs << " peak_rss_kb=" << peak_rss_kb;
   return os.str();
 }
 

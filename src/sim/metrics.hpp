@@ -17,6 +17,14 @@ struct EngineStats {
   std::uint64_t sum_active = 0;   // sum over ticks of active nodes
   std::uint64_t max_active = 0;   // peak active nodes in one tick
 
+  // Allocation observability (support/alloc_hook.hpp). `allocs` counts heap
+  // allocations on the stepping thread since engine construction — the
+  // regression-checkable form of the zero-allocation steady-state claim
+  // (it plateaus once engine capacities warm up). `peak_rss_kb` is the
+  // process peak RSS sampled at end of run; machine-dependent, report-only.
+  std::uint64_t allocs = 0;
+  std::uint64_t peak_rss_kb = 0;
+
   double avg_active() const;
   std::string summary() const;
 };

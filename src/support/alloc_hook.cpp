@@ -1,0 +1,93 @@
+#include "support/alloc_hook.hpp"
+
+#include <sys/resource.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace dtop {
+namespace {
+
+// Plain PODs with static initialization: safe to touch from the very first
+// allocation, before any dynamic initializer has run.
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  ++t_allocs;
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (!p) return;
+  ++t_frees;
+  std::free(p);
+}
+
+}  // namespace
+
+std::uint64_t heap_alloc_count() { return t_allocs; }
+std::uint64_t heap_free_count() { return t_frees; }
+
+std::uint64_t peak_rss_kb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+}  // namespace dtop
+
+// Global replacements (all forms, so counted allocations are freed by the
+// matching counted deallocator — sanitizer-clean). The nothrow forms funnel
+// through the throwing ones per the standard's default semantics.
+void* operator new(std::size_t size) { return dtop::counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return dtop::counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return dtop::counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return dtop::counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return dtop::counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return dtop::counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { dtop::counted_free(p); }
+void operator delete[](void* p) noexcept { dtop::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { dtop::counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { dtop::counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  dtop::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  dtop::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  dtop::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  dtop::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  dtop::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  dtop::counted_free(p);
+}

@@ -1,0 +1,39 @@
+// Heap-allocation observability.
+//
+// alloc_hook.cpp replaces the global operator new/delete with forwarding
+// implementations that bump thread-local counters. The counters make the
+// engine's allocation-free-hot-path claim a regression-checkable number
+// (EngineStats::allocs, bench E10's steady_allocs column, and the
+// EngineSteadyStateTicksAllocateNothing test) instead of a comment.
+//
+// Counting is per-thread on purpose: the campaign runner executes many
+// engines concurrently, and a process-wide counter would attribute one
+// job's allocations to another. heap_alloc_count() therefore reports the
+// *calling thread's* allocations only; an engine driven from one thread
+// (every runner job, every service request) sees exactly its own traffic.
+// A parallel engine's pool workers are not charged to the stepping thread
+// — the zero-allocation contract is asserted per stepping thread.
+//
+// The hook TU is pulled into every binary that uses the engine: the engine
+// reads heap_alloc_count() each tick, which forces the linker to take
+// alloc_hook.o from dtop_support, whose operator new definitions then
+// override the library ones.
+#pragma once
+
+#include <cstdint>
+
+namespace dtop {
+
+// Number of heap allocations (operator new families) performed by the
+// calling thread since it started. Monotonic; sample twice and subtract.
+std::uint64_t heap_alloc_count();
+
+// Number of heap deallocations performed by the calling thread.
+std::uint64_t heap_free_count();
+
+// Process peak resident set size in KiB (getrusage ru_maxrss), or 0 where
+// unavailable. Machine- and history-dependent: report it, never diff it at
+// tolerance 0.
+std::uint64_t peak_rss_kb();
+
+}  // namespace dtop

@@ -1,0 +1,132 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dtop {
+
+Arena::Arena(std::size_t first_block_bytes)
+    : first_block_bytes_(std::max<std::size_t>(first_block_bytes, 1024)) {}
+
+Arena::Arena(Arena&& other) noexcept
+    : head_(other.head_),
+      current_(other.current_),
+      cursor_(other.cursor_),
+      first_block_bytes_(other.first_block_bytes_),
+      bytes_allocated_(other.bytes_allocated_),
+      bytes_reserved_(other.bytes_reserved_),
+      block_count_(other.block_count_),
+      reset_count_(other.reset_count_) {
+  other.head_ = nullptr;
+  other.current_ = nullptr;
+  other.cursor_ = 0;
+  other.bytes_allocated_ = 0;
+  other.bytes_reserved_ = 0;
+  other.block_count_ = 0;
+}
+
+Arena::~Arena() {
+  Block* b = head_;
+  while (b) {
+    Block* next = b->next;
+    std::free(b);
+    b = next;
+  }
+}
+
+Arena::Block* Arena::new_block(std::size_t min_bytes) {
+  // Geometric growth: each fresh block at least doubles reserved capacity,
+  // so any run settles into O(log footprint) blocks and the reserve path
+  // stays off the steady state.
+  std::size_t cap = std::max({min_bytes, first_block_bytes_, bytes_reserved_});
+  void* raw = std::malloc(sizeof(Block) + cap);
+  DTOP_CHECK(raw != nullptr, "Arena: block allocation failed");
+  Block* b = ::new (raw) Block{};
+  b->capacity = cap;
+  bytes_reserved_ += cap;
+  ++block_count_;
+  return b;
+}
+
+namespace {
+
+// Smallest offset >= `offset` at which `base + offset` is `align`-aligned.
+// Offsets alone are not enough: block payloads start right after the 16-byte
+// Block header, so over-aligned requests (e.g. the engine's cache-line
+// aligned scratch) must align the absolute address.
+std::size_t aligned_offset(const char* base, std::size_t offset,
+                           std::size_t align) {
+  const std::uintptr_t p = reinterpret_cast<std::uintptr_t>(base) + offset;
+  const std::uintptr_t up =
+      (p + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+  return offset + static_cast<std::size_t>(up - p);
+}
+
+}  // namespace
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  DTOP_CHECK(align != 0 && (align & (align - 1)) == 0,
+             "Arena: alignment must be a power of two");
+  if (current_) {
+    const std::size_t at = aligned_offset(current_->data(), cursor_, align);
+    if (at + bytes <= current_->capacity) {
+      cursor_ = at + bytes;
+      bytes_allocated_ += bytes;
+      return current_->data() + at;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Try the remaining blocks in the chain (refilled by reset()) before
+  // growing.
+  Block* b = current_ ? current_->next : head_;
+  for (; b; b = b->next) {
+    const std::size_t at = aligned_offset(b->data(), 0, align);
+    if (at + bytes <= b->capacity) {
+      current_ = b;
+      cursor_ = at + bytes;
+      bytes_allocated_ += bytes;
+      return b->data() + at;
+    }
+  }
+  // Over-aligned requests may need leading padding even in a fresh block
+  // (payloads are only malloc-aligned); reserve room for it.
+  const std::size_t pad = align > alignof(std::max_align_t) ? align : 0;
+  Block* fresh = new_block(bytes + pad);
+  if (current_) {
+    current_->next = fresh;
+  } else {
+    head_ = fresh;
+  }
+  current_ = fresh;
+  const std::size_t at = aligned_offset(fresh->data(), 0, align);
+  cursor_ = at + bytes;
+  bytes_allocated_ += bytes;
+  return fresh->data() + at;
+}
+
+void Arena::reset() {
+  current_ = head_;
+  cursor_ = 0;
+  bytes_allocated_ = 0;
+  ++reset_count_;
+}
+
+void Arena::reserve_total(std::size_t bytes) {
+  if (bytes <= bytes_reserved_) return;
+  Block* fresh = new_block(bytes - bytes_reserved_);
+  // Append at the tail so the existing cursor position is unaffected.
+  if (!head_) {
+    head_ = fresh;
+    current_ = fresh;
+    cursor_ = 0;
+  } else {
+    Block* tail = head_;
+    while (tail->next) tail = tail->next;
+    tail->next = fresh;
+  }
+}
+
+}  // namespace dtop

@@ -1,0 +1,296 @@
+// Per-run bump allocation with typed freelists: the memory layer under the
+// engine's allocation-free hot path.
+//
+// Design (after the MPS pool-class notes in SNIPPETS.md: an arena owns
+// address space, pools carve class-specific allocation policies out of it):
+//
+//   Arena        chained bump blocks. allocate() is a pointer bump; reset()
+//                rewinds every block without returning memory to the heap,
+//                so a long-lived owner (a runner worker, a dtopd worker)
+//                pays the heap once and reuses the high-water footprint for
+//                every subsequent run.
+//   Pool<T>      a typed freelist over an arena: acquire/release recycle
+//                fixed-size T slots with LIFO reuse (hot slots stay hot);
+//                fresh slots bump-allocate from the arena.
+//   ArenaVector  the contiguous container the engine's struct-of-arrays
+//                state lives in. Storage comes from the arena; growth
+//                abandons the old storage to the arena (reclaimed at
+//                reset). The container object itself still destroys its
+//                elements, so non-trivial element types are safe.
+//
+// Arenas are single-threaded by design: one arena per run or per worker
+// thread, never shared across concurrent users. The engine's per-thread
+// scratch lists are separate allocations from one arena made before the
+// fork — workers only ever touch their own slices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace dtop {
+
+class Arena {
+ public:
+  // `first_block_bytes` sizes the initial block (allocated lazily on first
+  // use). Callers that know their footprint should pass it: a right-sized
+  // first block means the whole run lives in one contiguous mapping and the
+  // steady state never calls the heap.
+  explicit Arena(std::size_t first_block_bytes = kDefaultFirstBlock);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&&) = delete;
+
+  // Bump-allocates `bytes` aligned to `align` (a power of two). Grows by
+  // appending a block (geometric) when the current blocks are exhausted —
+  // the only path that touches the heap.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds every block to empty without releasing any of them. O(blocks).
+  // Anything previously allocated is dead storage after this; owners reset
+  // only between runs, when no engine state is alive.
+  void reset();
+
+  // Grows capacity so at least `bytes` are allocatable without touching the
+  // heap again (no-op when already reserved). One call up front turns a
+  // run's worth of allocate() calls into pure pointer bumps.
+  void reserve_total(std::size_t bytes);
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t block_count() const { return block_count_; }
+  std::uint64_t reset_count() const { return reset_count_; }
+
+  static constexpr std::size_t kDefaultFirstBlock = std::size_t{64} * 1024;
+
+ private:
+  struct Block {
+    Block* next = nullptr;
+    std::size_t capacity = 0;  // usable bytes after the header
+    char* data() { return reinterpret_cast<char*>(this + 1); }
+  };
+
+  Block* new_block(std::size_t min_bytes);
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  Block* head_ = nullptr;     // first block in chain (reuse starts here)
+  Block* current_ = nullptr;  // block the cursor lives in
+  std::size_t cursor_ = 0;    // bump offset within current_
+  std::size_t first_block_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t block_count_ = 0;
+  std::uint64_t reset_count_ = 0;
+};
+
+// Typed freelist over an arena. acquire() placement-constructs in a
+// recycled slot when one is free, otherwise in a fresh bump allocation;
+// release() destroys and recycles. The pool never returns memory to the
+// arena — slots cycle until the owner resets the arena (at which point the
+// pool must be considered empty too; call forget()).
+template <typename T>
+class Pool {
+  static_assert(sizeof(T) >= sizeof(void*),
+                "Pool slots double as freelist links");
+
+ public:
+  explicit Pool(Arena& arena) : arena_(&arena) {}
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    void* slot;
+    if (free_) {
+      slot = free_;
+      free_ = *static_cast<void**>(free_);
+      --free_count_;
+    } else {
+      slot = arena_->allocate(sizeof(T), alignof(T));
+      ++slots_;
+    }
+    return ::new (slot) T(std::forward<Args>(args)...);
+  }
+
+  void release(T* p) {
+    p->~T();
+    *reinterpret_cast<void**>(p) = free_;
+    free_ = p;
+    ++free_count_;
+  }
+
+  // Drops the freelist without touching the arena. Call after (or instead
+  // of) Arena::reset when the slots' storage is being rewound.
+  void forget() {
+    free_ = nullptr;
+    free_count_ = 0;
+    slots_ = 0;
+  }
+
+  std::size_t slots() const { return slots_; }          // ever bump-allocated
+  std::size_t free_slots() const { return free_count_; }
+
+ private:
+  Arena* arena_;
+  void* free_ = nullptr;
+  std::size_t free_count_ = 0;
+  std::size_t slots_ = 0;
+};
+
+// Contiguous vector whose storage lives in an arena. Interface is the
+// subset of std::vector the engine needs, plus unchecked appends for the
+// hot path (callers pre-ensure capacity once per node, then push without
+// branches). Not copyable or movable: engine state owns its containers for
+// the engine's lifetime.
+template <typename T>
+class ArenaVector {
+ public:
+  ArenaVector() = default;
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+
+  ~ArenaVector() { destroy_elements(); }
+
+  // Binds the arena storage comes from. Must precede any use; re-binding is
+  // only legal while empty.
+  void bind(Arena& arena) {
+    DTOP_CHECK(size_ == 0, "ArenaVector rebind with live elements");
+    arena_ = &arena;
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    DTOP_CHECK(i < size_, "ArenaVector index out of range");
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    DTOP_CHECK(i < size_, "ArenaVector index out of range");
+    return data_[i];
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow_to(cap);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow_to(capacity_ ? capacity_ * 2 : 8);
+    ::new (data_ + size_) T(v);
+    ++size_;
+  }
+
+  // Hot-path append: the caller has already ensured capacity (engine
+  // pre-checks once per stepped node). No branch, no check.
+  void push_back_unchecked(const T& v) {
+    ::new (data_ + size_) T(v);
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ ? capacity_ * 2 : 8);
+    T* p = ::new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  // Appends [src, src + n). Caller-visible growth is checked.
+  void append(const T* src, std::size_t n) {
+    reserve(size_ + n);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (n) std::memcpy(data_ + size_, src, n * sizeof(T));
+    } else {
+      std::uninitialized_copy(src, src + n, data_ + size_);
+    }
+    size_ += n;
+  }
+
+  void clear() {
+    destroy_elements();
+    size_ = 0;
+  }
+
+  // resize with default construction (value-initialized for PODs).
+  void resize(std::size_t n) {
+    if (n < size_) {
+      if constexpr (!std::is_trivially_destructible_v<T>) {
+        for (std::size_t i = n; i < size_; ++i) data_[i].~T();
+      }
+    } else {
+      reserve(n);
+      std::uninitialized_value_construct(data_ + size_, data_ + n);
+    }
+    size_ = n;
+  }
+
+  void assign(std::size_t n, const T& v) {
+    clear();
+    reserve(n);
+    std::uninitialized_fill(data_, data_ + n, v);
+    size_ = n;
+  }
+
+  // O(1) storage exchange (the engine's per-tick dirty-list flip). Both
+  // vectors must be bound to the same arena.
+  void swap(ArenaVector& other) {
+    DTOP_CHECK(arena_ == other.arena_, "ArenaVector swap across arenas");
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+ private:
+  void destroy_elements() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    }
+  }
+
+  void grow_to(std::size_t cap) {
+    DTOP_CHECK(arena_ != nullptr, "ArenaVector used before bind()");
+    T* fresh = arena_->allocate_array<T>(cap);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (size_) std::memcpy(fresh, data_, size_ * sizeof(T));
+    } else {
+      std::uninitialized_move(data_, data_ + size_, fresh);
+      destroy_elements();
+    }
+    // Old storage is abandoned to the arena (reclaimed at reset).
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace dtop

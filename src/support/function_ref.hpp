@@ -1,0 +1,43 @@
+// Non-owning callable reference, the hot-path replacement for
+// `const std::function<...>&` parameters.
+//
+// std::function's converting constructor heap-allocates whenever the
+// callable outgrows the small-buffer optimization — which a capturing
+// lambda passed to ThreadPool::run does on every fork-join. FunctionRef
+// stores two words (object pointer + trampoline) and allocates never. The
+// referenced callable must outlive the call, which a fork-join body
+// trivially does.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace dtop {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace dtop

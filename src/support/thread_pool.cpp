@@ -20,7 +20,7 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run(const std::function<void(int)>& body) {
+void ThreadPool::run(FunctionRef<void(int)> body) {
   if (num_threads_ == 1) {
     body(0);
     return;
@@ -51,7 +51,7 @@ void ThreadPool::run(const std::function<void(int)>& body) {
 void ThreadPool::worker_loop(int index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(int)>* body = nullptr;
+    const FunctionRef<void(int)>* body = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(lock, [&] {

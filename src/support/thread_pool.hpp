@@ -7,10 +7,11 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/function_ref.hpp"
 
 namespace dtop {
 
@@ -28,8 +29,12 @@ class ThreadPool {
   int size() const { return num_threads_; }
 
   // Blocks until every body(i) has returned. Exceptions from worker bodies
-  // are rethrown on the calling thread.
-  void run(const std::function<void(int)>& body);
+  // are rethrown on the calling thread. Takes a FunctionRef, not a
+  // std::function: the engine forks once per tick, and a std::function
+  // built from a capturing lambda heap-allocates — a per-tick allocation
+  // the zero-alloc hot path can't afford. The callable only needs to
+  // outlive the join, which it always does here.
+  void run(FunctionRef<void(int)> body);
 
  private:
   void worker_loop(int index);
@@ -40,7 +45,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(int)>* body_ = nullptr;
+  const FunctionRef<void(int)>* body_ = nullptr;
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool stopping_ = false;

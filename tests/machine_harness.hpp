@@ -42,21 +42,24 @@ class MachineHarness {
           (p < env_.delta && (env_.in_mask & (1u << p)) && inputs_[p])
               ? &*inputs_[p]
               : nullptr;
-      ctx.out_wires_[p] =
+      out_wires_[p] =
           (p < env_.delta && (env_.out_mask & (1u << p))) ? p : kNoWire;
     }
     for (auto& o : outputs_) o.reset();
     present_.fill(0);
+    ctx.out_wires_ = out_wires_.data();
     ctx.next_msgs_ = staged_.data();
     ctx.next_present_ = present_.data();
     ctx.targets_ = targets_.data();
-    ctx.dirty_ = &dirty_;
-    ctx.to_schedule_ = &sched_;
-    ctx.message_count_ = &messages_;
-    dirty_.clear();
-    sched_.clear();
+    scratch_.sched = sched_buf_.data();
+    scratch_.dirty = dirty_buf_.data();
+    scratch_.sched_len = 0;
+    scratch_.dirty_len = 0;
+    ctx.scratch_ = &scratch_;
 
     machine_.step(ctx);
+    messages_ += scratch_.msgs;
+    scratch_.msgs = 0;
 
     for (Port p = 0; p < kMaxDegree; ++p)
       if (present_[p]) outputs_[p] = staged_[p];
@@ -80,8 +83,12 @@ class MachineHarness {
   std::array<Character, kMaxDegree> staged_{};
   std::array<std::uint8_t, kMaxDegree> present_{};
   std::array<NodeId, kMaxDegree> targets_{};  // dummies
-  std::vector<WireId> dirty_;
-  std::vector<NodeId> sched_;
+  std::array<WireId, kMaxDegree> out_wires_{};
+  // One slot of slack: out()'s branch-free resend path stores one past the
+  // committed length (see EngineScratch).
+  std::array<NodeId, kMaxDegree + 1> sched_buf_{};
+  std::array<WireId, kMaxDegree + 1> dirty_buf_{};
+  EngineScratch scratch_{};
   std::uint64_t messages_ = 0;
 };
 

@@ -1,0 +1,214 @@
+// Memory layer units (support/arena.hpp): Arena bump allocation and
+// reset-retaining-blocks reuse, Pool freelist recycling, ArenaVector growth
+// and element lifetime — plus the alloc-hook counters the engine's
+// zero-allocation steady-state claim is measured with.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "support/alloc_hook.hpp"
+#include "support/arena.hpp"
+#include "support/error.hpp"
+
+namespace dtop {
+namespace {
+
+bool aligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena a;
+  a.allocate(1, 1);  // misalign the cursor
+  EXPECT_TRUE(aligned(a.allocate(4, 4), 4));
+  a.allocate(1, 1);
+  EXPECT_TRUE(aligned(a.allocate(8, 8), 8));
+  a.allocate(3, 1);
+  EXPECT_TRUE(aligned(a.allocate(64, 64), 64));
+}
+
+TEST(Arena, GrowsByAppendingBlocks) {
+  Arena a(/*first_block_bytes=*/256);
+  a.allocate(128, 8);
+  const std::size_t blocks_before = a.block_count();
+  // Larger than anything the current chain can hold: a new block appears,
+  // and everything previously allocated stays valid (nothing is moved).
+  int* big = a.allocate_array<int>(4096);
+  big[0] = 7;
+  big[4095] = 9;
+  EXPECT_GT(a.block_count(), blocks_before);
+  EXPECT_GE(a.bytes_allocated(), 128 + 4096 * sizeof(int));
+  EXPECT_GE(a.bytes_reserved(), a.bytes_allocated());
+}
+
+TEST(Arena, ResetRetainsBlocksAndAvoidsTheHeap) {
+  Arena a;
+  a.allocate_array<std::uint64_t>(20000);  // spills past the first block
+  const std::size_t reserved = a.bytes_reserved();
+  const std::size_t blocks = a.block_count();
+
+  a.reset();
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+  EXPECT_EQ(a.block_count(), blocks);
+  EXPECT_EQ(a.reset_count(), 1u);
+
+  // Refilling the rewound blocks is pure pointer bumping: zero heap calls.
+  const std::uint64_t mark = heap_alloc_count();
+  a.allocate_array<std::uint64_t>(20000);
+  EXPECT_EQ(heap_alloc_count(), mark);
+}
+
+TEST(Arena, ReserveTotalFrontLoadsTheHeap) {
+  Arena a;
+  a.reserve_total(1 << 20);
+  EXPECT_GE(a.bytes_reserved(), std::size_t{1} << 20);
+  const std::uint64_t mark = heap_alloc_count();
+  for (int i = 0; i < 1024; ++i) a.allocate(1024, 8);
+  EXPECT_EQ(heap_alloc_count(), mark);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a;
+  int* p = a.allocate_array<int>(8);
+  p[0] = 42;
+  Arena b(std::move(a));
+  EXPECT_EQ(p[0], 42);
+  EXPECT_GT(b.bytes_allocated(), 0u);
+  b.allocate_array<int>(8)[0] = 1;  // moved-to arena keeps allocating
+}
+
+struct Slot {
+  std::uint64_t value = 0;
+  explicit Slot(std::uint64_t v) : value(v) {}
+};
+
+TEST(Pool, RecyclesSlotsLifo) {
+  Arena a;
+  Pool<Slot> pool(a);
+  Slot* s1 = pool.acquire(1);
+  Slot* s2 = pool.acquire(2);
+  EXPECT_EQ(pool.slots(), 2u);
+  EXPECT_EQ(pool.free_slots(), 0u);
+
+  pool.release(s1);
+  pool.release(s2);
+  EXPECT_EQ(pool.free_slots(), 2u);
+
+  // LIFO: the most recently released slot is reused first, and recycling
+  // bump-allocates nothing new.
+  Slot* s3 = pool.acquire(3);
+  EXPECT_EQ(static_cast<void*>(s3), static_cast<void*>(s2));
+  EXPECT_EQ(s3->value, 3u);
+  EXPECT_EQ(pool.slots(), 2u);
+  EXPECT_EQ(pool.free_slots(), 1u);
+}
+
+TEST(Pool, ForgetDropsTheFreelist) {
+  Arena a;
+  Pool<Slot> pool(a);
+  pool.release(pool.acquire(1));
+  ASSERT_EQ(pool.free_slots(), 1u);
+  pool.forget();
+  EXPECT_EQ(pool.free_slots(), 0u);
+  EXPECT_EQ(pool.slots(), 0u);
+}
+
+TEST(ArenaVector, PushBackSurvivesGrowth) {
+  Arena a;
+  ArenaVector<int> v(a);
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ArenaVector, ChecksIndexAndBind) {
+  Arena a;
+  ArenaVector<int> v(a);
+  EXPECT_THROW(v[0], Error);
+  v.push_back(5);
+  EXPECT_THROW(v[1], Error);
+
+  ArenaVector<int> unbound;
+  EXPECT_THROW(unbound.push_back(1), Error);  // used before bind()
+
+  EXPECT_THROW(v.bind(a), Error);  // rebind with live elements
+  v.clear();
+  v.bind(a);  // legal while empty
+}
+
+// Element lifetime audit: every constructed element must be destroyed even
+// though the storage itself is only ever reclaimed by Arena::reset.
+struct Tracked {
+  static int live;
+  int v = 0;
+  Tracked() { ++live; }
+  explicit Tracked(int x) : v(x) { ++live; }
+  Tracked(const Tracked& o) : v(o.v) { ++live; }
+  Tracked(Tracked&& o) noexcept : v(o.v) { ++live; }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+
+TEST(ArenaVector, NonTrivialElementsAreDestroyed) {
+  Arena a;
+  Tracked::live = 0;
+  {
+    ArenaVector<Tracked> v(a);
+    for (int i = 0; i < 100; ++i) v.emplace_back(i);  // growth moves elements
+    EXPECT_EQ(Tracked::live, 100);
+    EXPECT_EQ(v[99].v, 99);
+    v.resize(40);
+    EXPECT_EQ(Tracked::live, 40);
+    v.clear();
+    EXPECT_EQ(Tracked::live, 0);
+    for (int i = 0; i < 10; ++i) v.emplace_back(i);
+  }  // destructor of a non-empty vector
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(ArenaVector, AppendAndAssign) {
+  Arena a;
+  ArenaVector<int> v(a);
+  const int src[4] = {1, 2, 3, 4};
+  v.append(src, 4);
+  v.append(src, 2);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[4], 1);
+  EXPECT_EQ(v[5], 2);
+
+  v.assign(3, 9);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 9);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(ArenaVector, SwapRequiresSameArena) {
+  Arena a, b;
+  ArenaVector<int> x(a), y(a), z(b);
+  x.push_back(1);
+  y.push_back(2);
+  y.push_back(3);
+  x.swap(y);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_EQ(x[1], 3);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 1);
+  EXPECT_THROW(x.swap(z), Error);
+}
+
+TEST(ArenaVector, SteadyStatePushIsAllocationFree) {
+  Arena a;
+  ArenaVector<int> v(a);
+  v.reserve(4096);
+  const std::uint64_t mark = heap_alloc_count();
+  for (int i = 0; i < 4096; ++i) v.push_back_unchecked(i);
+  v.clear();
+  for (int i = 0; i < 4096; ++i) v.push_back(i);
+  EXPECT_EQ(heap_alloc_count(), mark);
+}
+
+}  // namespace
+}  // namespace dtop

@@ -10,6 +10,7 @@ is machine-specific and ignored.
 
 Usage:
   bench_compare.py --baseline DIR --fresh DIR [--tol REL]
+                   [--tol-col NAME=REL ...]
 
 For every BENCH_*.json in the baseline directory, the same file must exist
 in the fresh directory and its tables must match: same table names, same
@@ -18,6 +19,13 @@ columns, same rows; numeric cells within relative tolerance REL (default
 Fresh files without a baseline are reported as informational (a new
 experiment needs its baseline committed, but must not fail the build that
 introduces it).
+
+--tol-col overrides the tolerance for one named column across all tables
+(repeatable). This is how wall-clock columns coexist with model-time
+columns in one gate: model time stays at the default exact tolerance while
+e.g. `--tol-col wall_ms=0.75 --tol-col peak_rss_kb=skip` lets
+hardware-dependent numbers breathe. The special value `skip` exempts the
+column entirely (reported, never gated).
 
 Exit codes: 0 all tables match, 1 any mismatch or missing fresh file,
 2 usage error. Stdlib only — runs anywhere python3 does (the CI
@@ -48,7 +56,23 @@ def cells_match(a, b, tol: float) -> bool:
     return scale > 0 and abs(a - b) / scale <= tol
 
 
-def compare_file(name: str, baseline: Path, fresh: Path, tol: float):
+def parse_tol_col(spec: str):
+    """'wall_ms=0.75' -> ('wall_ms', 0.75); 'peak_rss_kb=skip' -> (.., None)."""
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"--tol-col expects NAME=REL or NAME=skip, got {spec!r}")
+    if value == "skip":
+        return name, None
+    try:
+        return name, float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--tol-col {name}: {value!r} is not a number or 'skip'") from exc
+
+
+def compare_file(name: str, baseline: Path, fresh: Path, tol: float,
+                 col_tol: dict):
     """Yields human-readable mismatch descriptions for one BENCH file."""
     base_tables = load_tables(baseline)
     fresh_tables = load_tables(fresh)
@@ -73,10 +97,14 @@ def compare_file(name: str, baseline: Path, fresh: Path, tol: float):
         columns = b.get("columns", [])
         for r, (brow, frow) in enumerate(zip(b_rows, f_rows)):
             for c, (bc, fc) in enumerate(zip(brow, frow)):
-                if not cells_match(bc, fc, tol):
-                    col = columns[c] if c < len(columns) else f"col{c}"
+                col = columns[c] if c < len(columns) else f"col{c}"
+                cell_tol = col_tol.get(col, tol)
+                if cell_tol is None:  # --tol-col NAME=skip
+                    continue
+                if not cells_match(bc, fc, cell_tol):
                     yield (f"{name}:{table}: row {r} [{col}]: "
-                           f"baseline {bc!r} != fresh {fc!r}")
+                           f"baseline {bc!r} != fresh {fc!r} "
+                           f"(tol={cell_tol})")
 
 
 def main(argv):
@@ -89,7 +117,12 @@ def main(argv):
     parser.add_argument("--tol", type=float, default=0.0,
                         help="relative tolerance for numeric cells "
                              "(default 0.0: exact)")
+    parser.add_argument("--tol-col", type=parse_tol_col, action="append",
+                        default=[], metavar="NAME=REL",
+                        help="per-column tolerance override (repeatable); "
+                             "NAME=skip exempts the column entirely")
     args = parser.parse_args(argv[1:])
+    col_tol = dict(args.tol_col)
 
     baselines = sorted(args.baseline.glob("BENCH_*.json"))
     if not baselines:
@@ -105,7 +138,8 @@ def main(argv):
             failures.append(f"{baseline.name}: missing from {args.fresh}")
             continue
         compared += 1
-        failures.extend(compare_file(baseline.name, baseline, fresh, args.tol))
+        failures.extend(
+            compare_file(baseline.name, baseline, fresh, args.tol, col_tol))
 
     # New experiments show up fresh-first; flag them for a baseline commit
     # without failing the build that introduces them.
