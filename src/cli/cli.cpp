@@ -349,15 +349,23 @@ std::string usage_text() {
       "  dtopctl trace  inspect --trace FILE [--start I] [--max N] [--summary]\n"
       "  dtopctl trace  diff    --a FILE --b FILE\n"
       "  dtopctl trace  replay  --trace FILE [--threads T]\n"
-      "  dtopctl serve  --socket PATH [--workers N] [--cache N]\n"
-      "                 [--trace-dir DIR] [--quiet]\n"
-      "  dtopctl client (--socket PATH | --cluster SOCKS) [--request JSON]...\n"
+      "  dtopctl serve  (--socket PATH | --listen HOST:PORT) [--workers N]\n"
+      "                 [--cache N] [--cache-store FILE] [--trace-dir DIR]\n"
+      "                 [--quiet]\n"
+      "  dtopctl client (--socket EP | --cluster EPS) [--request JSON]...\n"
       "                 [--in FILE] [--shutdown]\n"
-      "  dtopctl cluster --shards N --socket-dir DIR [--workers N] [--cache N]\n"
+      "  dtopctl cluster --shards N (--socket-dir DIR | --tcp-base PORT)\n"
+      "                 [--workers N] [--cache N] [--cache-dir DIR]\n"
       "                 [--trace-dir DIR] [--max-restarts N] [--exe PATH]\n"
       "                 [--quiet]\n"
+      "  dtopctl loadgen (--endpoint EP | --cluster EPS) [--concurrency C]\n"
+      "                 [--rate R] [--requests N] [--duration S] [--zipf S]\n"
+      "                 [--instances K] [--mix determine=8,verify=1,sweep=1]\n"
+      "                 [--seed S] [--replicas R] [--out FILE]\n"
+      "                 [--bench-json DIR] [--quiet]\n"
       "  dtopctl help\n"
       "\n"
+      "Endpoints (EP): a Unix socket path, or HOST:PORT for TCP.\n"
       "Families: " + families + "\n"
       "Integer LISTs accept commas and ranges: 8,16 or 8..64:8.\n"
       "File arguments accept '-' for stdin/stdout.\n"
@@ -391,6 +399,8 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
       return client_command(parse_client_args(rest), out, err);
     if (cmd == "cluster")
       return cluster_command(parse_cluster_args(rest), out, err);
+    if (cmd == "loadgen")
+      return loadgen_command(parse_loadgen_args(rest), out, err);
     throw UsageError("unknown subcommand '" + cmd + "'");
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n\n" << usage_text();

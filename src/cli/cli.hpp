@@ -12,14 +12,18 @@
 //   trace   record a run as a self-contained binary trace; inspect, diff,
 //           and replay trace files (src/trace).
 //   serve   run dtopd — the resident topology-determination daemon with a
-//           canonical-form result cache — on a Unix-domain socket
+//           canonical-form result cache and optional persistent cache
+//           store — on a Unix-domain socket or a TCP listen address
 //           (src/service).
 //   client  send line-delimited JSON requests to a running dtopd — or, with
 //           --cluster, through the consistent-hash dispatcher over a set of
 //           dtopd shards — and print the responses.
 //   cluster spawn and babysit N `serve` shards (one process per shard,
-//           crashed children restarted), the supervisor for `--cluster`
-//           clients.
+//           crashed children restarted, Unix sockets or TCP ports), the
+//           supervisor for `--cluster` clients.
+//   loadgen drive open- or closed-loop determine/verify/sweep traffic with
+//           Zipf-distributed topology instances against a live daemon or
+//           cluster; report throughput and p50/p95/p99 latency.
 //
 // The subcommand implementations take explicit option structs and write to
 // caller-supplied streams so the test suite can drive them in-process; the
@@ -133,9 +137,11 @@ struct TraceOptions {
 };
 
 struct ServeOptions {
-  std::string socket;      // --socket PATH (required)
+  std::string socket;      // --socket PATH (exactly one of --socket/--listen)
+  std::string listen;      // --listen HOST:PORT (port 0 = pick a free port)
   int workers = 1;         // request-executing ThreadPool size
   std::size_t cache = 64;  // result-cache capacity, in entries
+  std::string cache_store; // --cache-store FILE: persistent warm-start store
   std::string trace_dir;   // capture failed requests here (existing dir)
   bool quiet = false;      // suppress lifecycle lines on stdout
 };
@@ -151,8 +157,12 @@ struct ClientOptions {
 struct ClusterOptions {
   int shards = 2;           // number of `serve` children
   std::string socket_dir;   // sockets land at DIR/shard-<i>.sock
+  // --tcp-base PORT: shards listen on TCP 127.0.0.1:<PORT+i> instead of
+  // Unix sockets (socket_dir is then unused and may be empty). 0 = off.
+  int tcp_base = 0;
   int workers = 1;          // per-shard request workers
   std::size_t cache = 64;   // per-shard result-cache capacity
+  std::string cache_dir;    // per-shard stores DIR/shard-<i>.cache (created)
   std::string trace_dir;    // per-shard capture dirs DIR/shard-<i> (created)
   // Path of the dtopctl binary to exec for the children. Empty = this
   // process's own image (/proc/self/exe); the flag exists for test drivers
@@ -160,6 +170,25 @@ struct ClusterOptions {
   std::string exe;
   int max_restarts = 5;     // per-shard crash-restart budget
   bool quiet = false;       // suppress supervisor lifecycle lines
+};
+
+struct LoadgenOptions {
+  std::string cluster;      // --cluster EP,EP,... (dispatcher; exactly one
+  std::string endpoint;     // --endpoint EP       of the two targets)
+  int concurrency = 4;      // in-flight workers (closed loop: = load)
+  // --rate R: open-loop arrivals per second (latency includes queue wait);
+  // 0 = closed loop (each worker issues its next request on completion).
+  double rate = 0.0;
+  std::uint64_t requests = 0;  // fixed request count; 0 = run for --duration
+  double duration = 5.0;       // seconds (ignored when requests > 0)
+  double zipf = 1.1;           // instance-popularity skew (s in rank^-s)
+  int instances = 16;          // distinct topology instances in the catalog
+  std::string mix = "determine=8,verify=1,sweep=1";  // op weights
+  std::uint64_t seed = 1;      // schedule seed (fixes the request stream)
+  int replicas = 1;            // dispatcher ring replication (cluster mode)
+  std::string out;             // report destination (empty or "-" = stdout)
+  std::string bench_json;      // dir for BENCH_LOADGEN.json (empty = none)
+  bool quiet = false;          // suppress progress lines on stderr
 };
 
 // Parsers, exposed for the test suite. `args` excludes the subcommand name.
@@ -173,8 +202,10 @@ TraceOptions parse_trace_args(const std::vector<std::string>& args);
 ServeOptions parse_serve_args(const std::vector<std::string>& args);
 ClientOptions parse_client_args(const std::vector<std::string>& args);
 ClusterOptions parse_cluster_args(const std::vector<std::string>& args);
+LoadgenOptions parse_loadgen_args(const std::vector<std::string>& args);
 
-// The shard socket paths a ClusterOptions resolves to: DIR/shard-<i>.sock.
+// The shard endpoints a ClusterOptions resolves to: DIR/shard-<i>.sock, or
+// 127.0.0.1:<tcp_base+i> when --tcp-base is set.
 std::vector<std::string> cluster_socket_paths(const ClusterOptions& opt);
 
 // Materializes a GraphSpec (generation or file load + validate()).
@@ -202,6 +233,8 @@ int serve_command(const ServeOptions& opt, std::ostream& out,
 int client_command(const ClientOptions& opt, std::ostream& out,
                    std::ostream& err);
 int cluster_command(const ClusterOptions& opt, std::ostream& out,
+                    std::ostream& err);
+int loadgen_command(const LoadgenOptions& opt, std::ostream& out,
                     std::ostream& err);
 
 // Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit

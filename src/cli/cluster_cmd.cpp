@@ -1,7 +1,11 @@
 // The `dtopctl cluster` subcommand: spawn and babysit N dtopd shards.
 //
 // Each shard is one `dtopctl serve` child process on its own Unix socket
-// (DIR/shard-<i>.sock). Process isolation is the point: a shard crash
+// (DIR/shard-<i>.sock) or, with --tcp-base PORT, its own TCP port
+// (127.0.0.1:<PORT+i>). With --cache-dir DIR each shard also gets a
+// persistent cache store (DIR/shard-<i>.cache) so a restarted child
+// warm-starts with every answer it had already computed.
+// Process isolation is the point: a shard crash
 // cannot take the cluster down, and the supervisor restarts the child (up
 // to a per-shard budget) while the client-side dispatcher fails the
 // affected requests over to the surviving shards. Children exiting cleanly
@@ -36,12 +40,12 @@ namespace {
 
 using namespace std::chrono_literals;
 
-// True when something accepts connections on the AF_UNIX path (the same
-// probe the clients and tests use, so path-length edge cases live in one
-// place: service::ClientChannel).
-bool socket_alive(const std::string& path) {
+// True when something accepts connections on the endpoint — AF_UNIX path
+// or TCP host:port (the same probe the clients and tests use, so
+// endpoint-grammar edge cases live in one place: service::ClientChannel).
+bool socket_alive(const std::string& endpoint) {
   try {
-    service::ClientChannel probe(path);
+    service::ClientChannel probe(endpoint);
     return true;
   } catch (const Error&) {
     return false;
@@ -70,7 +74,8 @@ std::string describe_exit(int status) {
 }
 
 struct Shard {
-  std::string socket;
+  std::string socket;     // endpoint: unix path or "127.0.0.1:<port>"
+  std::string cache_store;  // "" = no persistence
   std::string trace_dir;  // "" = no capture
   pid_t pid = -1;         // -1: not running
   int restarts = 0;
@@ -86,10 +91,15 @@ class Supervisor {
   }
 
   int run() {
-    make_dirs(opt_.socket_dir);
+    if (opt_.tcp_base == 0) make_dirs(opt_.socket_dir);
+    if (!opt_.cache_dir.empty()) make_dirs(opt_.cache_dir);
     for (int i = 0; i < opt_.shards; ++i) {
       Shard shard;
       shard.socket = shard_socket(opt_, i);
+      if (!opt_.cache_dir.empty()) {
+        shard.cache_store =
+            opt_.cache_dir + "/shard-" + std::to_string(i) + ".cache";
+      }
       if (!opt_.trace_dir.empty()) {
         shard.trace_dir = opt_.trace_dir + "/shard-" + std::to_string(i);
         make_dirs(shard.trace_dir);
@@ -112,6 +122,9 @@ class Supervisor {
   }
 
   static std::string shard_socket(const ClusterOptions& opt, int index) {
+    if (opt.tcp_base != 0) {
+      return "127.0.0.1:" + std::to_string(opt.tcp_base + index);
+    }
     return opt.socket_dir + "/shard-" + std::to_string(index) + ".sock";
   }
 
@@ -129,7 +142,10 @@ class Supervisor {
     }
     if (!opt_.quiet) {
       out_ << "dtopctl cluster: " << shards_.size() << " shards ready under "
-           << opt_.socket_dir << "\n"
+           << (opt_.tcp_base != 0
+                   ? "127.0.0.1:" + std::to_string(opt_.tcp_base) + "+"
+                   : opt_.socket_dir)
+           << "\n"
            << std::flush;
     }
 
@@ -158,11 +174,16 @@ class Supervisor {
 
   void spawn(std::size_t index) {
     Shard& shard = shards_[index];
-    std::vector<std::string> args = {exe_,       "serve",
-                                     "--socket", shard.socket,
+    const char* transport_flag = opt_.tcp_base != 0 ? "--listen" : "--socket";
+    std::vector<std::string> args = {exe_,          "serve",
+                                     transport_flag, shard.socket,
                                      "--workers", std::to_string(opt_.workers),
                                      "--cache",  std::to_string(opt_.cache),
                                      "--quiet"};
+    if (!shard.cache_store.empty()) {
+      args.push_back("--cache-store");
+      args.push_back(shard.cache_store);
+    }
     if (!shard.trace_dir.empty()) {
       args.push_back("--trace-dir");
       args.push_back(shard.trace_dir);
@@ -295,6 +316,13 @@ ClusterOptions parse_cluster_args(const std::vector<std::string>& args) {
       if (opt.shards < 1) throw UsageError("--shards must be >= 1");
     } else if (f == "--socket-dir") {
       opt.socket_dir = w.value();
+    } else if (f == "--tcp-base") {
+      opt.tcp_base = parse_int_as<int>(f, w.value());
+      if (opt.tcp_base < 1 || opt.tcp_base > 65535) {
+        throw UsageError("--tcp-base must be a port in 1..65535");
+      }
+    } else if (f == "--cache-dir") {
+      opt.cache_dir = w.value();
     } else if (f == "--workers") {
       opt.workers = parse_int_as<int>(f, w.value());
       if (opt.workers < 1) throw UsageError("--workers must be >= 1");
@@ -313,8 +341,12 @@ ClusterOptions parse_cluster_args(const std::vector<std::string>& args) {
       throw UsageError("unknown flag '" + f + "' for 'cluster'");
     }
   }
-  if (opt.socket_dir.empty()) {
-    throw UsageError("'cluster' needs --socket-dir DIR");
+  if (opt.socket_dir.empty() && opt.tcp_base == 0) {
+    throw UsageError("'cluster' needs --socket-dir DIR or --tcp-base PORT");
+  }
+  if (opt.tcp_base != 0 &&
+      opt.tcp_base + opt.shards - 1 > 65535) {
+    throw UsageError("--tcp-base + --shards exceeds port 65535");
   }
   return opt;
 }

@@ -1,7 +1,8 @@
 // The `dtopctl serve` and `dtopctl client` subcommands: the CLI face of
 // dtopd (src/service). `serve` runs the daemon in the foreground on a
-// Unix-domain socket, with SIGINT/SIGTERM draining in-flight requests
-// before exit; `client` sends a scripted line-delimited JSON session and
+// Unix-domain socket (--socket) or a TCP listen address (--listen), with
+// SIGINT/SIGTERM draining in-flight requests before exit; `client` sends a
+// scripted line-delimited JSON session and
 // prints the response lines, exiting 0 only when every response carries
 // "ok": true (so CI can assert a whole session with one exit code).
 #include <memory>
@@ -22,12 +23,16 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
     const std::string& f = w.flag();
     if (f == "--socket") {
       opt.socket = w.value();
+    } else if (f == "--listen") {
+      opt.listen = w.value();
     } else if (f == "--workers") {
       opt.workers = parse_int_as<int>(f, w.value());
       if (opt.workers < 1) throw UsageError("--workers must be >= 1");
     } else if (f == "--cache") {
       opt.cache = parse_int_as<std::uint32_t>(f, w.value());
       if (opt.cache < 1) throw UsageError("--cache must be >= 1 entry");
+    } else if (f == "--cache-store") {
+      opt.cache_store = w.value();
     } else if (f == "--trace-dir") {
       opt.trace_dir = w.value();
     } else if (f == "--quiet") {
@@ -36,7 +41,10 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args) {
       throw UsageError("unknown flag '" + f + "' for 'serve'");
     }
   }
-  if (opt.socket.empty()) throw UsageError("'serve' needs --socket PATH");
+  if (opt.socket.empty() == opt.listen.empty()) {
+    throw UsageError(
+        "'serve' needs exactly one of --socket PATH or --listen HOST:PORT");
+  }
   return opt;
 }
 
@@ -74,8 +82,11 @@ int serve_command(const ServeOptions& opt, std::ostream& out,
                   std::ostream& err) {
   service::ServerOptions sopt;
   sopt.socket_path = opt.socket;
+  sopt.tcp = opt.listen;
   sopt.service.workers = opt.workers;
   sopt.service.cache_capacity = opt.cache;
+  sopt.service.cache_store = opt.cache_store;
+  sopt.service.warn = &err;
   sopt.service.trace_dir = opt.trace_dir;
   sopt.quiet = opt.quiet;
 
@@ -85,7 +96,6 @@ int serve_command(const ServeOptions& opt, std::ostream& out,
 
   service::Server server(sopt);
   server.serve(out);
-  (void)err;
   return guard.triggered() ? service::SignalGuard::exit_code() : 0;
 }
 

@@ -16,6 +16,7 @@
 #include "graph/canonical.hpp"
 #include "graph/families.hpp"
 #include "graph/port_graph.hpp"
+#include "service/endpoint.hpp"
 #include "service/service.hpp"
 
 namespace dtop::service {
@@ -127,19 +128,12 @@ class Dispatcher::Endpoint {
  private:
   // Pre: lock held, fd_ < 0, no reader running.
   void connect_locked() {
-    sockaddr_un addr = {};
-    addr.sun_family = AF_UNIX;
-    if (path_.empty() || path_.size() >= sizeof(addr.sun_path)) {
-      throw EndpointDown("socket path '" + path_ + "' is empty or too long");
-    }
-    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    DTOP_CHECK(fd >= 0, "cannot create dispatcher socket");
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      const std::string why = std::strerror(errno);
-      ::close(fd);
-      throw EndpointDown("cannot connect to shard '" + path_ + "': " + why);
+    int fd = -1;
+    try {
+      fd = connect_endpoint(parse_endpoint(path_));
+    } catch (const Error& e) {
+      throw EndpointDown("cannot connect to shard '" + path_ +
+                         "': " + e.what());
     }
     fd_ = fd;
     reader_ = std::thread([this, fd] { reader_loop(fd); });
@@ -233,7 +227,16 @@ Dispatcher::Dispatcher(const DispatcherOptions& opt) : opt_(opt) {
   std::sort(ring_.begin(), ring_.end());
 }
 
-Dispatcher::~Dispatcher() = default;
+Dispatcher::~Dispatcher() {
+  // Drain-then-join: copies already queued are still attempted (an orderly
+  // dispatcher never silently drops a replica), then the worker exits.
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_closing_ = true;
+  }
+  repl_cv_.notify_all();
+  if (repl_worker_.joinable()) repl_worker_.join();
+}
 
 std::size_t Dispatcher::owner_of(std::uint64_t key) const {
   auto it = std::lower_bound(
@@ -293,7 +296,9 @@ std::string Dispatcher::call_keyed(std::uint64_t key, const std::string& line) {
       if (!first_attempt) failovers_.fetch_add(1, std::memory_order_relaxed);
       first_attempt = false;
       try {
-        return endpoints_[idx]->submit(line).get();
+        std::string response = endpoints_[idx]->submit(line).get();
+        maybe_replicate(key, idx, response);
+        return response;
       } catch (const EndpointDown& e) {
         last_error = e.what();
       }
@@ -302,6 +307,105 @@ std::string Dispatcher::call_keyed(std::uint64_t key, const std::string& line) {
   throw Error("no cluster shard reachable (" +
               std::to_string(endpoints_.size()) + " endpoints tried): " +
               last_error);
+}
+
+void Dispatcher::maybe_replicate(std::uint64_t key, std::size_t served_by,
+                                 const std::string& response) {
+  if (opt_.replicas < 1 || endpoints_.size() < 2) return;
+  // Cheap substring gate before any parse: only a *fresh* successful
+  // determination has a copy worth pushing — hits were already replicated
+  // when they were first computed, and failures are never cached at all.
+  if (response.find("\"op\": \"determine\"") == std::string::npos ||
+      response.find("\"ok\": true") == std::string::npos ||
+      response.find("\"cache\": \"miss\"") == std::string::npos) {
+    return;
+  }
+  bool start_worker = false;
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (repl_closing_) return;
+    repl_queue_.push_back(ReplicaTask{key, served_by, response});
+    ++repl_pending_;
+    start_worker = !repl_worker_.joinable();
+    if (start_worker) {
+      repl_worker_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(repl_mu_);
+        for (;;) {
+          repl_cv_.wait(lock,
+                        [&] { return repl_closing_ || !repl_queue_.empty(); });
+          if (repl_queue_.empty()) return;  // closing and drained
+          const ReplicaTask task = std::move(repl_queue_.front());
+          repl_queue_.pop_front();
+          lock.unlock();
+          replicate(task);
+          lock.lock();
+          --repl_pending_;
+          repl_cv_.notify_all();  // drain_replication waiters
+        }
+      });
+    }
+  }
+  repl_cv_.notify_all();
+}
+
+void Dispatcher::replicate(const ReplicaTask& task) {
+  try {
+    const JsonObject resp = parse_json_object(task.response);
+    const std::string key_hex = resp.require_string("key");
+    const std::string config = resp.get_string("config", "ratio3");
+
+    // The response carries the map unless the client opted out with
+    // include_map=false; then the full record is pulled from the shard that
+    // computed it (a stats-neutral cache_get, so the copy never shows up in
+    // the owner's hit counters).
+    JsonObject record = resp;
+    if (!resp.has("map")) {
+      JsonWriter get;
+      get.field("op", "cache_get").field("key", key_hex).field("config",
+                                                               config);
+      const std::string got =
+          endpoints_[task.served_by]->submit(get.str()).get();
+      record = parse_json_object(got);
+      if (!record.get_bool("found", false)) return;  // evicted already
+    }
+
+    JsonWriter put;
+    put.field("op", "cache_put")
+        .field("key", key_hex)
+        .field("config", config)
+        .field("label", record.get_string("label", "graph"))
+        .field("n", record.get_u64("n", 0))
+        .field("d", record.get_u64("d", 0))
+        .field("e", record.get_u64("e", 0))
+        .field("ticks", record.get_i64("ticks", 0))
+        .field("messages", record.get_u64("messages", 0))
+        .field("node_steps", record.get_u64("node_steps", 0))
+        .field("map", record.require_string("map"));
+    const std::string put_line = put.str();
+
+    const std::vector<std::size_t> order = ring_order(task.key);
+    int copies = 0;
+    for (const std::size_t idx : order) {
+      if (idx == task.served_by) continue;
+      if (copies >= opt_.replicas) break;
+      ++copies;
+      try {
+        const std::string ack = endpoints_[idx]->submit(put_line).get();
+        if (ack.find("\"ok\": true") != std::string::npos) {
+          replications_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const EndpointDown&) {
+        // Best effort: a successor that is down simply misses this copy.
+      }
+    }
+  } catch (const std::exception&) {
+    // Replication must never take a request path down with it.
+  }
+}
+
+void Dispatcher::drain_replication() {
+  std::unique_lock<std::mutex> lock(repl_mu_);
+  repl_cv_.wait(lock, [&] { return repl_pending_ == 0; });
 }
 
 std::string Dispatcher::call(const std::string& line) {
@@ -427,6 +531,7 @@ DispatchStats Dispatcher::stats() const {
   s.routed = routed_.load(std::memory_order_relaxed);
   s.fan_outs = fan_outs_.load(std::memory_order_relaxed);
   s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.replications = replications_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,6 +1,7 @@
 // The dtopd cluster dispatcher: one client-side endpoint pool over N
-// Unix-socket daemons (shards), with consistent-hash routing keyed on the
-// rooted canonical-form hash.
+// daemons (shards) — Unix-socket paths and TCP host:port endpoints mix
+// freely (service/endpoint.hpp grammar) — with consistent-hash routing
+// keyed on the rooted canonical-form hash.
 //
 // Why the canonical hash is the shard key: the protocol is
 // relabelling-invariant (the property behind the shards' own result
@@ -33,10 +34,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runner/runner.hpp"
@@ -54,17 +59,27 @@ class EndpointDown : public Error {
 };
 
 struct DispatcherOptions {
-  std::vector<std::string> sockets;  // one AF_UNIX path per shard (>= 1)
+  // One endpoint per shard (>= 1): an AF_UNIX path or a TCP "host:port".
+  std::vector<std::string> sockets;
   int vnodes = 32;                   // ring points per endpoint
   // Full passes over the ring before a request is declared undeliverable
   // (every endpoint is tried once per pass, owner first).
   int ring_passes = 2;
+  // Extra copies of each fresh determination pushed (asynchronously, best
+  // effort) to the next `replicas` distinct ring successors of the owning
+  // shard via `cache_put`. 0 disables replication — the default, because a
+  // replicated cluster's aggregate insert counters legitimately differ
+  // from a single daemon's. With replicas >= 1, a SIGKILL'd shard loses
+  // capacity but not answers: its keys fail over to the successor that
+  // already holds the replicated entries.
+  int replicas = 0;
 };
 
 struct DispatchStats {
   std::uint64_t routed = 0;     // requests routed by shard key
   std::uint64_t fan_outs = 0;   // stats/shutdown broadcasts
   std::uint64_t failovers = 0;  // re-sends after an endpoint failure
+  std::uint64_t replications = 0;  // cache_put copies stored on successors
 };
 
 class Dispatcher {
@@ -96,8 +111,18 @@ class Dispatcher {
   const std::vector<std::string>& sockets() const { return opt_.sockets; }
   DispatchStats stats() const;
 
+  // Blocks until every replication enqueued so far has been attempted.
+  // Tests (and an orderly shutdown) use this; normal operation never waits.
+  void drain_replication();
+
  private:
   class Endpoint;
+
+  struct ReplicaTask {
+    std::uint64_t key = 0;
+    std::size_t served_by = 0;  // endpoint index that answered
+    std::string response;       // the determine response to copy out
+  };
 
   std::string fan_out_stats(const JsonObject& req);
   std::string fan_out_shutdown(const JsonObject& req);
@@ -110,6 +135,12 @@ class Dispatcher {
                                                     std::string* last_error);
   // Distinct endpoint indices in ring order starting at `key`'s owner.
   std::vector<std::size_t> ring_order(std::uint64_t key) const;
+  // Queues a fresh determination for replication when it qualifies
+  // (replicas > 0, a successful "cache": "miss" determine, > 1 endpoint).
+  void maybe_replicate(std::uint64_t key, std::size_t served_by,
+                       const std::string& response);
+  // The replication worker's body: copies one entry to ring successors.
+  void replicate(const ReplicaTask& task);
 
   DispatcherOptions opt_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
@@ -117,6 +148,17 @@ class Dispatcher {
   std::atomic<std::uint64_t> routed_{0};
   std::atomic<std::uint64_t> fan_outs_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> replications_{0};
+
+  // Replication runs on one background worker so the caller's request
+  // latency never pays for the copies. Declared after endpoints_ — the
+  // destructor drains and joins the worker before any endpoint goes away.
+  std::mutex repl_mu_;
+  std::condition_variable repl_cv_;
+  std::deque<ReplicaTask> repl_queue_;
+  std::size_t repl_pending_ = 0;  // queued + currently executing
+  bool repl_closing_ = false;
+  std::thread repl_worker_;  // started lazily on the first qualifying task
 };
 
 // Executes one campaign job on the cluster: the job travels as a

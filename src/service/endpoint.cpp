@@ -1,0 +1,181 @@
+#include "service/endpoint.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace dtop::service {
+namespace {
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket path '" + path + "' is empty or too long (max " +
+                std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+// getaddrinfo with the repo's error type. "[::1]:9" style hosts arrive here
+// already stripped of their brackets.
+struct AddrList {
+  addrinfo* head = nullptr;
+  ~AddrList() {
+    if (head) ::freeaddrinfo(head);
+  }
+};
+
+void resolve(const Endpoint& ep, bool passive, AddrList* out) {
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  const std::string port = std::to_string(ep.port);
+  const int rc = ::getaddrinfo(ep.host.empty() ? nullptr : ep.host.c_str(),
+                               port.c_str(), &hints, &out->head);
+  if (rc != 0) {
+    throw Error("cannot resolve '" + ep.display +
+                "': " + std::string(::gai_strerror(rc)));
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  if (spec.empty()) throw Error("empty endpoint");
+  Endpoint ep;
+  ep.display = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (spec.find('/') == std::string::npos && colon != std::string::npos &&
+      colon + 1 < spec.size()) {
+    const std::string port_text = spec.substr(colon + 1);
+    bool digits = true;
+    for (const char c : port_text) digits = digits && c >= '0' && c <= '9';
+    if (digits) {
+      std::uint64_t port = 0;
+      for (const char c : port_text) {
+        port = port * 10 + static_cast<std::uint64_t>(c - '0');
+        if (port > 65535) {
+          throw Error("endpoint '" + spec + "' has a port > 65535");
+        }
+      }
+      ep.tcp = true;
+      ep.port = static_cast<std::uint16_t>(port);
+      ep.host = spec.substr(0, colon);
+      // Accept the bracketed IPv6 literal form "[::1]:port".
+      if (ep.host.size() >= 2 && ep.host.front() == '[' &&
+          ep.host.back() == ']') {
+        ep.host = ep.host.substr(1, ep.host.size() - 2);
+      }
+      if (ep.host.empty()) {
+        throw Error("endpoint '" + spec + "' is missing a host");
+      }
+      return ep;
+    }
+  }
+  ep.path = spec;
+  return ep;
+}
+
+int connect_endpoint(const Endpoint& ep) {
+  if (!ep.tcp) {
+    const sockaddr_un addr = unix_addr(ep.path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    DTOP_CHECK(fd >= 0, "cannot create client socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      if (err == ECONNREFUSED || err == ENOENT) {
+        throw Error("connection refused: is dtopd running at " + ep.display +
+                    "?");
+      }
+      throw Error("cannot connect to '" + ep.display +
+                  "': " + std::strerror(err));
+    }
+    return fd;
+  }
+
+  AddrList addrs;
+  resolve(ep, /*passive=*/false, &addrs);
+  int last_err = ECONNREFUSED;
+  for (const addrinfo* ai = addrs.head; ai; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    last_err = errno;
+    ::close(fd);
+  }
+  if (last_err == ECONNREFUSED) {
+    throw Error("connection refused: is dtopd running at " + ep.display + "?");
+  }
+  throw Error("cannot connect to '" + ep.display +
+              "': " + std::strerror(last_err));
+}
+
+int listen_tcp(const Endpoint& ep, std::uint16_t* bound_port) {
+  DTOP_REQUIRE(ep.tcp, "listen_tcp needs a host:port endpoint, got '" +
+                           ep.display + "'");
+  AddrList addrs;
+  resolve(ep, /*passive=*/true, &addrs);
+  int last_err = EADDRNOTAVAIL;
+  for (const addrinfo* ai = addrs.head; ai; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    // Without SO_REUSEADDR a restarted daemon would spend TIME_WAIT locked
+    // out of its own address — the crash-restart supervisor relies on an
+    // immediate rebind.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 64) != 0) {
+      last_err = errno;
+      ::close(fd);
+      continue;
+    }
+    sockaddr_storage actual = {};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      if (actual.ss_family == AF_INET) {
+        *bound_port =
+            ntohs(reinterpret_cast<const sockaddr_in*>(&actual)->sin_port);
+      } else if (actual.ss_family == AF_INET6) {
+        *bound_port =
+            ntohs(reinterpret_cast<const sockaddr_in6*>(&actual)->sin6_port);
+      }
+    }
+    return fd;
+  }
+  if (last_err == EADDRINUSE) {
+    throw Error("cannot listen on '" + ep.display +
+                "': address already in use (another daemon?)");
+  }
+  throw Error("cannot listen on '" + ep.display +
+              "': " + std::strerror(last_err));
+}
+
+}  // namespace dtop::service

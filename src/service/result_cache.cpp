@@ -13,14 +13,14 @@ void ResultCache::touch(LruList::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
-void ResultCache::insert_locked(const CacheKey& key, const CachedMap& value) {
+bool ResultCache::insert_locked(const CacheKey& key, const CachedMap& value) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent computations under distinct flight discriminators can
     // finish for the same key; runs are deterministic, so the values are
     // identical — refresh recency, don't duplicate the entry.
     touch(it->second);
-    return;
+    return false;
   }
   lru_.emplace_front(key, value);
   index_[key] = lru_.begin();
@@ -30,6 +30,7 @@ void ResultCache::insert_locked(const CacheKey& key, const CachedMap& value) {
     lru_.pop_back();
     ++stats_.evictions;
   }
+  return true;
 }
 
 std::optional<CachedMap> ResultCache::lookup(const CacheKey& key) {
@@ -39,6 +40,18 @@ std::optional<CachedMap> ResultCache::lookup(const CacheKey& key) {
   ++stats_.hits;
   touch(it->second);
   return it->second->second;
+}
+
+std::optional<CachedMap> ResultCache::peek(const CacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second->second;
+}
+
+bool ResultCache::put(const CacheKey& key, const CachedMap& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return insert_locked(key, value);
 }
 
 CachedMap ResultCache::get_or_compute(const CacheKey& key,

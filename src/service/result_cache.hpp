@@ -103,6 +103,18 @@ class ResultCache {
   // Plain lookup (counts a hit and refreshes LRU recency when found).
   std::optional<CachedMap> lookup(const CacheKey& key);
 
+  // Stats-neutral lookup: touches no counter and no LRU recency. The
+  // replication path reads entries through this so pushing a copy to a ring
+  // successor never distorts the hit/miss numbers tests and CI assert.
+  std::optional<CachedMap> peek(const CacheKey& key) const;
+
+  // Inserts a completed determination without computing it — the
+  // warm-start replay of a persistent store and the `cache_put` replication
+  // op. Returns true when the key was absent (counted as an insert); an
+  // existing entry is refreshed, not duplicated (runs are deterministic, so
+  // the values are identical).
+  bool put(const CacheKey& key, const CachedMap& value);
+
   CacheStats stats() const;
 
  private:
@@ -128,10 +140,11 @@ class ResultCache {
 
   // Pre: lock held. Moves `it` to the front (most recently used).
   void touch(LruList::iterator it);
-  // Pre: lock held. Inserts and evicts down to capacity. A key computed
-  // concurrently under two flight discriminators can already be present —
-  // runs are deterministic, so the existing entry is simply refreshed.
-  void insert_locked(const CacheKey& key, const CachedMap& value);
+  // Pre: lock held. Inserts and evicts down to capacity; returns true when
+  // the key was absent. A key computed concurrently under two flight
+  // discriminators can already be present — runs are deterministic, so the
+  // existing entry is simply refreshed.
+  bool insert_locked(const CacheKey& key, const CachedMap& value);
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;

@@ -4,12 +4,15 @@
 #include <cstring>
 #include <ostream>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "service/endpoint.hpp"
 #include "support/error.hpp"
 
 namespace dtop::service {
@@ -48,7 +51,7 @@ void write_all(int fd, const std::string& data) {
 
 Server::Server(const ServerOptions& opt) : opt_(opt), service_(opt.service) {}
 
-int Server::serve(std::ostream& log) {
+int Server::listen_unix() {
   const sockaddr_un addr = make_addr(opt_.socket_path);
 
   // A leftover socket file from a crashed daemon must not block restart —
@@ -86,13 +89,40 @@ int Server::serve(std::ostream& log) {
     ::unlink(opt_.socket_path.c_str());
     throw Error("cannot listen on '" + opt_.socket_path + "': " + why);
   }
+  return listen_fd;
+}
+
+int Server::bind_tcp() {
+  const Endpoint ep = parse_endpoint(opt_.tcp);
+  if (!ep.tcp) {
+    throw Error("--listen expects host:port, got '" + opt_.tcp + "'");
+  }
+  std::uint16_t port = ep.port;
+  const int listen_fd = listen_tcp(ep, &port);
+  tcp_port_.store(port, std::memory_order_release);
+  return listen_fd;
+}
+
+int Server::serve(std::ostream& log) {
+  DTOP_REQUIRE(opt_.socket_path.empty() != opt_.tcp.empty(),
+               "server needs exactly one of a socket path or a TCP listen "
+               "address");
+  const bool tcp = !opt_.tcp.empty();
+  const int listen_fd = tcp ? bind_tcp() : listen_unix();
+  const std::string display =
+      tcp ? parse_endpoint(opt_.tcp).host + ":" + std::to_string(tcp_port())
+          : opt_.socket_path;
 
   if (!opt_.quiet) {
-    log << "dtopd: listening on " << opt_.socket_path << " (workers="
+    log << "dtopd: listening on " << display << " (workers="
         << opt_.service.workers << ", cache=" << opt_.service.cache_capacity
         << (opt_.service.trace_dir.empty()
                 ? std::string()
                 : ", trace-dir=" + opt_.service.trace_dir)
+        << (opt_.service.cache_store.empty()
+                ? std::string()
+                : ", cache-store=" + opt_.service.cache_store + " (" +
+                      std::to_string(service_.warm_loaded()) + " warm)")
         << ")\n"
         << std::flush;
   }
@@ -114,6 +144,11 @@ int Server::serve(std::ostream& log) {
     if (ready == 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
+    if (tcp) {
+      // Request/response lines: Nagle coalescing is pure response latency.
+      const int one = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(std::make_unique<Connection>());
     Connection* c = conns_.back().get();
@@ -129,7 +164,7 @@ int Server::serve(std::ostream& log) {
   closing_.store(true, std::memory_order_release);
   reap_connections(/*all=*/true);
   service_.stop();
-  ::unlink(opt_.socket_path.c_str());
+  if (!tcp) ::unlink(opt_.socket_path.c_str());
   if (!opt_.quiet) {
     const CacheStats c = service_.cache_stats();
     log << "dtopd: " << (interrupted ? "interrupted" : "shutdown")
@@ -230,18 +265,8 @@ void Server::handle_connection(int fd) {
   ::close(fd);
 }
 
-ClientChannel::ClientChannel(const std::string& socket_path) {
-  const sockaddr_un addr = make_addr(socket_path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  DTOP_CHECK(fd_ >= 0, "cannot create client socket");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw Error("cannot connect to '" + socket_path + "': " + why +
-                " (is `dtopctl serve` running?)");
-  }
+ClientChannel::ClientChannel(const std::string& endpoint) {
+  fd_ = connect_endpoint(parse_endpoint(endpoint));
 }
 
 ClientChannel::~ClientChannel() {

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 
 #include "core/gtd.hpp"
 #include "core/map_io.hpp"
@@ -11,6 +12,7 @@
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
 #include "runner/runner.hpp"
+#include "service/cache_store.hpp"
 #include "trace/recorder.hpp"
 #include "trace/trace_io.hpp"
 
@@ -37,6 +39,26 @@ std::string hash_hex(std::uint64_t h) {
     h >>= 4;
   }
   return out;
+}
+
+// The inverse of hash_hex: exactly 16 lowercase hex digits, as emitted in
+// every determine response's "key" field.
+std::uint64_t parse_hash_hex(const std::string& hex) {
+  if (hex.size() != 16) {
+    throw JsonError("\"key\" must be 16 hex digits, got \"" + hex + "\"");
+  }
+  std::uint64_t h = 0;
+  for (const char c : hex) {
+    h <<= 4;
+    if (c >= '0' && c <= '9') {
+      h |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      h |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw JsonError("\"key\" must be 16 hex digits, got \"" + hex + "\"");
+    }
+  }
+  return h;
 }
 
 }  // namespace
@@ -169,6 +191,17 @@ std::vector<NodeId> parse_sizes(const std::string& text) {
 Service::Service(const ServiceOptions& opt)
     : opt_(opt), cache_(opt.cache_capacity), pool_(opt.workers) {
   DTOP_REQUIRE(opt.workers >= 1, "service workers must be >= 1");
+  if (!opt_.cache_store.empty()) {
+    std::ostream& warn = opt_.warn ? *opt_.warn : std::cerr;
+    // Replay first, then open for append: the replay must not echo the
+    // records it just read back into the file. put() respects capacity, so
+    // an over-full store simply warms the most recent window the LRU keeps.
+    warm_loaded_ = CacheStore::load(
+        opt_.cache_store,
+        [this](CacheKey key, CachedMap value) { cache_.put(key, value); },
+        warn);
+    store_ = std::make_unique<CacheStore>(opt_.cache_store, warn);
+  }
   arenas_.reserve(static_cast<std::size_t>(opt.workers));
   for (int w = 0; w < opt.workers; ++w) arenas_.emplace_back();
   pump_ = std::thread([this] {
@@ -248,6 +281,14 @@ std::string Service::handle_line(const std::string& line,
       served_.sweep.fetch_add(1, std::memory_order_relaxed);
       return handle_sweep(req, id, ticket);
     }
+    if (op == "cache_get") {
+      served_.cache_get.fetch_add(1, std::memory_order_relaxed);
+      return handle_cache_get(req, id);
+    }
+    if (op == "cache_put") {
+      served_.cache_put.fetch_add(1, std::memory_order_relaxed);
+      return handle_cache_put(req, id);
+    }
     if (op == "stats") {
       served_.stats.fetch_add(1, std::memory_order_relaxed);
       return handle_stats(req, id);
@@ -259,8 +300,10 @@ std::string Service::handle_line(const std::string& line,
       if (!id.empty()) w.field_raw("id", id);
       return w.field("op", "shutdown").field("ok", true).str();
     }
-    throw JsonError("unknown op \"" + op +
-                    "\" (known: determine verify sweep stats shutdown)");
+    throw JsonError(
+        "unknown op \"" + op +
+        "\" (known: determine verify sweep cache_get cache_put stats "
+        "shutdown)");
   } catch (const std::exception& e) {
     served_.errors.fetch_add(1, std::memory_order_relaxed);
     JsonWriter w;
@@ -300,6 +343,10 @@ std::string Service::handle_determine(const JsonObject& req,
           return execute_determine(g, root, config, max_ticks, label, arena);
         },
         &outcome, static_cast<std::uint64_t>(max_ticks));
+    // Only the computing caller persists the entry (hits replayed it, and
+    // coalesced twins share the one computation), so the store grows by at
+    // most one record per fresh determination.
+    if (store_ && outcome == "miss") store_->append(key, r);
     w.field("ok", true)
         .field("status", "exact")
         .field("cache", outcome)
@@ -436,6 +483,66 @@ std::string Service::handle_sweep(const JsonObject& req, const std::string& id,
       .str();
 }
 
+// Reads one completed cache entry by its response-visible identity (the
+// "key" hex + config label a determine response reports). The lookup is a
+// stats-neutral peek: the dispatcher's replication worker pulls entries
+// through this op, and a replication read must not inflate the hit
+// counters the tests and CI assert. The map always travels in the response
+// — the point of the op is to move the full record between shards.
+std::string Service::handle_cache_get(const JsonObject& req,
+                                      const std::string& id) {
+  const CacheKey key{parse_hash_hex(req.require_string("key")),
+                     req.get_string("config", "ratio3")};
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  w.field("op", "cache_get").field("ok", true);
+  const std::optional<CachedMap> entry = cache_.peek(key);
+  w.field("found", entry.has_value())
+      .field("key", hash_hex(key.graph_hash))
+      .field("config", key.config);
+  if (entry) {
+    w.field("label", entry->label)
+        .field("n", static_cast<std::uint64_t>(entry->n))
+        .field("d", static_cast<std::uint64_t>(entry->d))
+        .field("e", static_cast<std::uint64_t>(entry->e))
+        .field("ticks", static_cast<std::int64_t>(entry->ticks))
+        .field("messages", entry->messages)
+        .field("node_steps", entry->node_steps)
+        .field("map", entry->map_text);
+  }
+  return w.str();
+}
+
+// Seeds one completed determination without running the protocol: the
+// receive side of cache replication. The entry lands in the LRU *and* the
+// persistent store, so a shard restarted after inheriting answers
+// warm-starts with them too. "stored" is false when the key was already
+// present (the put refreshed recency but wrote nothing).
+std::string Service::handle_cache_put(const JsonObject& req,
+                                      const std::string& id) {
+  const CacheKey key{parse_hash_hex(req.require_string("key")),
+                     req.get_string("config", "ratio3")};
+  CachedMap value;
+  value.map_text = req.require_string("map");
+  value.label = req.get_string("label", "graph");
+  value.n = static_cast<NodeId>(req.get_u64("n", 0));
+  value.d = static_cast<std::uint32_t>(req.get_u64("d", 0));
+  value.e = static_cast<std::uint32_t>(req.get_u64("e", 0));
+  value.ticks = static_cast<Tick>(req.get_i64("ticks", 0));
+  value.messages = req.get_u64("messages", 0);
+  value.node_steps = req.get_u64("node_steps", 0);
+  const bool stored = cache_.put(key, value);
+  if (stored && store_) store_->append(key, value);
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  return w.field("op", "cache_put")
+      .field("ok", true)
+      .field("stored", stored)
+      .field("key", hash_hex(key.graph_hash))
+      .field("config", key.config)
+      .str();
+}
+
 std::string Service::handle_stats(const JsonObject& req,
                                   const std::string& id) {
   (void)req;
@@ -454,6 +561,8 @@ std::string Service::handle_stats(const JsonObject& req,
       served_.determine.load(std::memory_order_relaxed),
       served_.verify.load(std::memory_order_relaxed),
       served_.sweep.load(std::memory_order_relaxed),
+      served_.cache_get.load(std::memory_order_relaxed),
+      served_.cache_put.load(std::memory_order_relaxed),
       served_.stats.load(std::memory_order_relaxed),
       served_.shutdown.load(std::memory_order_relaxed),
       served_.errors.load(std::memory_order_relaxed)};

@@ -13,6 +13,10 @@
 //    "root": 0, "config": "ratio3"}          -> run (or recall) the protocol
 //   {"op": "verify", "map": "...", "family": ...}  -> check a map
 //   {"op": "sweep", "families": "torus", "sizes": "8,16", "seeds": "1..4"}
+//   {"op": "cache_get", "key": "<16 hex>", "config": "ratio3"}
+//                                            -> read one cache entry (peek)
+//   {"op": "cache_put", "key": "...", "config": ..., "map": ..., ...}
+//                                            -> seed one entry (replication)
 //   {"op": "stats"}                          -> cache + served counters
 //   {"op": "shutdown"}                       -> flag a graceful stop
 //
@@ -33,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -64,7 +69,8 @@ inline constexpr const char* kStatsCacheFields[] = {
     "capacity", "size",    "hits",      "misses",
     "coalesced", "inserts", "evictions", "executions"};
 inline constexpr const char* kStatsServedFields[] = {
-    "determine", "verify", "sweep", "stats", "shutdown", "errors"};
+    "determine", "verify",    "sweep", "cache_get",
+    "cache_put", "stats",     "shutdown", "errors"};
 
 struct ServiceOptions {
   int workers = 1;                 // ThreadPool size executing requests
@@ -74,6 +80,12 @@ struct ServiceOptions {
   // sweep request's failed jobs land under <trace_dir>/req-<seq>/ via the
   // runner's own capture hook. The directory must exist.
   std::string trace_dir;
+  // When non-empty: the append-only persistent cache tier
+  // (service/cache_store.hpp). Replayed into the LRU at construction (the
+  // warm start), appended on every fresh determination and replicated
+  // cache_put. Load warnings go to *warn (std::cerr when null).
+  std::string cache_store;
+  std::ostream* warn = nullptr;
 };
 
 class Service {
@@ -109,6 +121,9 @@ class Service {
   CacheStats cache_stats() const { return cache_.stats(); }
   const ServiceOptions& options() const { return opt_; }
 
+  // Entries replayed from the persistent store at construction.
+  std::size_t warm_loaded() const { return warm_loaded_; }
+
  private:
   struct Job {
     std::uint64_t ticket = 0;
@@ -121,6 +136,8 @@ class Service {
     std::atomic<std::uint64_t> determine{0};
     std::atomic<std::uint64_t> verify{0};
     std::atomic<std::uint64_t> sweep{0};
+    std::atomic<std::uint64_t> cache_get{0};
+    std::atomic<std::uint64_t> cache_put{0};
     std::atomic<std::uint64_t> stats{0};
     std::atomic<std::uint64_t> shutdown{0};
     std::atomic<std::uint64_t> errors{0};
@@ -137,10 +154,14 @@ class Service {
   std::string handle_verify(const JsonObject& req, const std::string& id);
   std::string handle_sweep(const JsonObject& req, const std::string& id,
                            std::uint64_t ticket);
+  std::string handle_cache_get(const JsonObject& req, const std::string& id);
+  std::string handle_cache_put(const JsonObject& req, const std::string& id);
   std::string handle_stats(const JsonObject& req, const std::string& id);
 
   ServiceOptions opt_;
   ResultCache cache_;
+  std::unique_ptr<class CacheStore> store_;  // null without a cache_store
+  std::size_t warm_loaded_ = 0;
   // One arena per pool worker, reused (reset) across the requests that
   // worker executes: a long-lived daemon stops churning the allocator once
   // each worker's arena reaches its high-water footprint.

@@ -661,7 +661,13 @@ TEST(CliMain, ClientAgainstDeadSocketFailsCleanly) {
                            "--request", "{\"op\": \"stats\"}"},
                           out, err);
   EXPECT_EQ(rc, 1);
-  EXPECT_NE(err.str().find("dtopctl serve"), std::string::npos) << err.str();
+  // The friendly diagnosis, not a raw errno: names the endpoint and asks
+  // the obvious question.
+  EXPECT_NE(err.str().find("connection refused: is dtopd running at"),
+            std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("no_daemon_here.sock"), std::string::npos)
+      << err.str();
 }
 
 // ------------------------------- cluster ----------------------------------
@@ -703,6 +709,68 @@ TEST(CliParse, ClusterRequiresSocketDirAndSaneValues) {
   EXPECT_EQ(opt.shards, 2);
   EXPECT_EQ(opt.max_restarts, 5);
   EXPECT_TRUE(opt.exe.empty());
+}
+
+TEST(CliParse, ServeListenAndCacheStore) {
+  const ServeOptions opt = parse_serve_args(
+      {"--listen", "127.0.0.1:0", "--cache-store", "warm.cache"});
+  EXPECT_EQ(opt.listen, "127.0.0.1:0");
+  EXPECT_TRUE(opt.socket.empty());
+  EXPECT_EQ(opt.cache_store, "warm.cache");
+  // Exactly one transport: both is as much an operator error as neither.
+  EXPECT_THROW(parse_serve_args({"--socket", "s", "--listen", "h:1"}),
+               UsageError);
+}
+
+TEST(CliParse, ClusterTcpBaseAndCacheDir) {
+  const ClusterOptions opt = parse_cluster_args(
+      {"--shards", "3", "--tcp-base", "39000", "--cache-dir", "stores"});
+  EXPECT_EQ(opt.tcp_base, 39000);
+  EXPECT_EQ(opt.cache_dir, "stores");
+  // Shard endpoints become consecutive loopback ports, in shard order.
+  EXPECT_EQ(cluster_socket_paths(opt),
+            (std::vector<std::string>{"127.0.0.1:39000", "127.0.0.1:39001",
+                                      "127.0.0.1:39002"}));
+  EXPECT_THROW(parse_cluster_args({"--tcp-base", "0"}), UsageError);
+  EXPECT_THROW(parse_cluster_args({"--tcp-base", "70000"}), UsageError);
+  // The whole shard range must fit inside the port space.
+  EXPECT_THROW(parse_cluster_args({"--shards", "4", "--tcp-base", "65534"}),
+               UsageError);
+}
+
+TEST(CliParse, LoadgenFullFlagSetAndValidation) {
+  const LoadgenOptions opt = parse_loadgen_args(
+      {"--cluster", "127.0.0.1:9001,127.0.0.1:9002", "--concurrency", "8",
+       "--rate", "250", "--requests", "1000", "--duration", "2.5", "--zipf",
+       "0.9", "--instances", "24", "--mix", "determine=4,verify=1", "--seed",
+       "7", "--replicas", "2", "--bench-json", "bench_out", "--quiet"});
+  EXPECT_EQ(opt.cluster, "127.0.0.1:9001,127.0.0.1:9002");
+  EXPECT_EQ(opt.concurrency, 8);
+  EXPECT_EQ(opt.rate, 250.0);
+  EXPECT_EQ(opt.requests, 1000u);
+  EXPECT_EQ(opt.duration, 2.5);
+  EXPECT_EQ(opt.zipf, 0.9);
+  EXPECT_EQ(opt.instances, 24);
+  EXPECT_EQ(opt.mix, "determine=4,verify=1");
+  EXPECT_EQ(opt.seed, 7u);
+  EXPECT_EQ(opt.replicas, 2);
+  EXPECT_EQ(opt.bench_json, "bench_out");
+  EXPECT_TRUE(opt.quiet);
+
+  EXPECT_THROW(parse_loadgen_args({}), UsageError);  // needs a target
+  EXPECT_THROW(parse_loadgen_args({"--endpoint", "e", "--cluster", "a,b"}),
+               UsageError);
+  EXPECT_THROW(parse_loadgen_args({"--endpoint", "e", "--concurrency", "0"}),
+               UsageError);
+  // Bad numbers are UsageErrors (exit 2), never raw std exceptions.
+  EXPECT_THROW(parse_loadgen_args({"--endpoint", "e", "--zipf", "zebra"}),
+               UsageError);
+  EXPECT_THROW(parse_loadgen_args({"--endpoint", "e", "--mix", "nope=1"}),
+               UsageError);
+  EXPECT_THROW(parse_loadgen_args({"--endpoint", "e", "--mix", "determine=0"}),
+               UsageError);
+  EXPECT_THROW(parse_loadgen_args({"--endpoint", "e", "--instances", "49"}),
+               UsageError);
 }
 
 TEST(CliParse, ClientClusterAndSocketAreMutuallyExclusive) {

@@ -8,11 +8,28 @@
 // value-identically, including 64-bit integers, control characters, and
 // \u escapes. All randomness is seed-pinned through the repo's own Rng, so
 // every failure is reproducible from the test log.
+// A second layer of the same contract lives at the bottom of this file: the
+// TCP listener fed raw bytes off a real socket — partial frames, split
+// writes, garbage, abrupt disconnects — must never crash or wedge either.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "service/json.hpp"
+#include "service/server.hpp"
 #include "service/service.hpp"
 #include "support/rng.hpp"
 
@@ -252,6 +269,245 @@ TEST(JsonFuzz, ServiceAnswersEveryMalformedLineAndStaysUp) {
       R"({"op": "determine", "family": "torus", "nodes": 9, "include_map": false})");
   EXPECT_NE(ok.find("\"ok\": true"), std::string::npos) << ok;
   (void)served;
+}
+
+// ---------------------------------------------------------------------------
+// The TCP listener under byte-level abuse. These tests speak to the socket
+// raw — no ClientChannel — so the server sees exactly the framing each test
+// constructs: bytes trickled one at a time, half a line then a vanished
+// peer, garbage followed by a legitimate request on the same connection.
+// The invariant mirrors the parser's: the listener answers every complete
+// line (well-formed or not), survives every incomplete one, and keeps
+// accepting fresh connections afterwards.
+
+// A quiet TCP dtopd on a kernel-assigned port, torn down via the external
+// stop flag (drain semantics, no shutdown request needed).
+class TcpFuzzDaemon {
+ public:
+  TcpFuzzDaemon() { start(); }
+
+ private:
+  // gtest's ASSERT macros need a void function, so construction delegates.
+  void start() {
+    ServerOptions opt;
+    opt.tcp = "127.0.0.1:0";
+    opt.quiet = true;
+    opt.stop = &stop_;
+    server_ = std::make_unique<Server>(opt);
+    thread_ = std::thread([this] { rc_ = server_->serve(log_); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server_->tcp_port() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_NE(server_->tcp_port(), 0) << log_.str();
+  }
+
+ public:
+  ~TcpFuzzDaemon() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    EXPECT_EQ(rc_, 0) << log_.str();
+  }
+
+  std::uint16_t port() const { return server_->tcp_port(); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::ostringstream log_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  int rc_ = -1;
+};
+
+// A raw client socket: sends whatever bytes it is told, however it is told.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) { connect(port); }
+
+  ~RawConn() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  // close() with SO_LINGER 0: the kernel sends RST, not FIN — the rudest
+  // disconnect a peer can deliver.
+  void reset() {
+    if (fd_ < 0) return;
+    struct linger hard = {1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    close();
+  }
+
+  // Sends the bytes; tolerates a peer that already hung up (EPIPE/RST are
+  // outcomes under test, not failures).
+  void send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size() && fd_ >= 0) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  // One response line, or nullopt on EOF; fails the test after 10 s (a
+  // wedged listener must show up as a failure, not a hung suite).
+  std::optional<std::string> read_line() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        ADD_FAILURE() << "no response line within 10s";
+        return std::nullopt;
+      }
+      pollfd p = {fd_, POLLIN, 0};
+      if (::poll(&p, 1, 100) <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n == 0) return std::nullopt;
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return std::nullopt;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  void connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+constexpr char kProbe[] =
+    R"({"op": "determine", "family": "torus", "nodes": 9, "include_map": false})"
+    "\n";
+
+TEST(TcpFuzz, OneByteAtATimeSplitWritesStillGetTheAnswer) {
+  TcpFuzzDaemon daemon;
+  RawConn conn(daemon.port());
+  const std::string req(kProbe);
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    conn.send(req.substr(i, 1));
+    if (i % 7 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto resp = conn.read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_NE(resp->find("\"ok\": true"), std::string::npos) << *resp;
+}
+
+TEST(TcpFuzz, GarbageLinesGetErrorResponsesAndTheConnectionKeepsWorking) {
+  TcpFuzzDaemon daemon;
+  RawConn conn(daemon.port());
+  Rng rng(0x7cfbeef);
+  for (int iter = 0; iter < 100; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    // Non-empty and newline-free: blank lines are protocol keep-alives the
+    // listener skips without a response.
+    std::string line = "x" + random_bytes(rng, 48);
+    for (char& c : line) {
+      if (c == '\n' || c == '\r') c = '?';
+    }
+    conn.send(line + "\n");
+    const auto resp = conn.read_line();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_NE(resp->find("\"ok\": false"), std::string::npos) << *resp;
+  }
+  // The same connection, after 100 garbage lines, still answers properly.
+  conn.send(kProbe);
+  const auto resp = conn.read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_NE(resp->find("\"ok\": true"), std::string::npos) << *resp;
+}
+
+TEST(TcpFuzz, PartialFramesAndAbruptDisconnectsNeverWedgeTheListener) {
+  TcpFuzzDaemon daemon;
+  Rng rng(0xd15c0);
+  const std::string req(kProbe);
+  for (int iter = 0; iter < 60; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    RawConn conn(daemon.port());
+    switch (iter % 4) {
+      case 0:  // half a request, then a polite close — never a newline
+        conn.send(req.substr(0, 1 + rng.next_below(req.size() - 1)));
+        conn.close();
+        break;
+      case 1:  // a complete request, then vanish without reading the answer
+        conn.send(req);
+        conn.reset();
+        break;
+      case 2:  // garbage with stray newlines, then RST mid-stream
+        conn.send(random_bytes(rng, 200) + "\n" + random_bytes(rng, 50));
+        conn.reset();
+        break;
+      default:  // connect and say nothing at all
+        conn.close();
+        break;
+    }
+  }
+  // After all of the abuse, a fresh connection gets a correct answer.
+  RawConn survivor(daemon.port());
+  survivor.send(req);
+  const auto resp = survivor.read_line();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_NE(resp->find("\"ok\": true"), std::string::npos) << *resp;
+}
+
+TEST(TcpFuzz, RandomByteStormFollowedByAValidRequestPerConnection) {
+  TcpFuzzDaemon daemon;
+  Rng rng(0x5707a1);
+  for (int iter = 0; iter < 20; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    RawConn conn(daemon.port());
+    // A storm of raw bytes, newlines included: every complete *non-empty*
+    // line gets some response (the listener skips blank lines without
+    // one), and the trailing valid request still succeeds.
+    std::string storm = random_bytes(rng, 600);
+    if (storm.empty() || storm.back() != '\n') storm += "\n";
+    std::size_t lines = 0;  // responses the storm itself should earn
+    std::size_t start = 0;
+    for (std::size_t nl = storm.find('\n'); nl != std::string::npos;
+         start = nl + 1, nl = storm.find('\n', start)) {
+      std::string line = storm.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) ++lines;
+    }
+    conn.send(storm);
+    conn.send(kProbe);
+    bool saw_ok = false;
+    for (std::size_t i = 0; i < lines + 1; ++i) {
+      const auto resp = conn.read_line();
+      ASSERT_TRUE(resp.has_value()) << "line " << i << " of " << lines + 1;
+      if (resp->find("\"ok\": true") != std::string::npos) saw_ok = true;
+    }
+    EXPECT_TRUE(saw_ok);
+  }
 }
 
 }  // namespace
