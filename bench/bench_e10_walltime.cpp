@@ -1,23 +1,36 @@
-// Experiment E10 — engine wall time at scale.
+// Experiment E10 — engine wall time at scale, and thread scaling.
 //
 // Every other committed bench table is model time (global clock ticks),
-// which is exact and machine-independent. E10 is the repo's first committed
-// wall-clock number: ticks/second and ns per node step on flood workloads
-// from 10^3 up to 10^5 nodes (10^6 in non-quick mode), where memory layout
-// — not algorithm — dominates. Rows time a fixed steady-state window after
-// a warmup that saturates the active set and warms the engine's arena
-// capacities, so the window runs allocation-free (the steady_allocs column
-// pins that to 0 for the pure-engine rows).
+// which is exact and machine-independent. E10 is the repo's committed
+// wall-clock experiment: ticks/second and ns per node step on flood
+// workloads from 10^3 up to 10^5 nodes (10^6 in non-quick mode), where
+// memory layout — not algorithm — dominates. Rows time a fixed steady-state
+// window after a warmup that saturates the active set and warms the
+// engine's arena capacities, so the window runs allocation-free (the
+// steady_allocs column pins that to 0 for the pure-engine rows).
+//
+// Three tables:
+//   walltime       — the historical per-size rows, run at bench_threads()
+//                    (default 1, so committed baselines stay comparable).
+//   thread_scaling — the dense flood at 1/2/4/8 engine threads with a
+//                    speedup column (wall_1 / wall_T). node_steps and
+//                    steady_allocs are identical across rows — that's the
+//                    determinism contract made visible in the table.
+//   calibration    — the same workload across parallel_grain settings,
+//                    justifying EngineOptions' default grain.
 //
 // Column discipline for the CI gate (tools/bench_compare.py --tol-col):
-// N/E/window_ticks/node_steps/steady_allocs are deterministic functions of
-// the model and diff at tolerance 0; wall_ms/ticks_per_s/ns_per_node_step
-// are hardware-dependent and gate at a generous relative tolerance;
+// N/E/threads/grain/window_ticks/node_steps/steady_allocs are deterministic
+// functions of the model and diff at tolerance 0; wall_ms/ticks_per_s/
+// ns_per_node_step are hardware-dependent and gate at a generous relative
+// tolerance; speedup depends on the runner's core count (a single-core CI
+// box measures ~1.0 regardless of thread count) and gates as skip;
 // peak_rss_kb is history-dependent and is reported but never gated.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -99,6 +112,13 @@ WindowSample time_window(Engine& engine, Tick warmup, Tick window) {
   return s;
 }
 
+EngineOptions bench_engine_options(int threads) {
+  EngineOptions opt;
+  opt.num_threads = threads;
+  opt.pin_threads = bench_pin();
+  return opt;
+}
+
 void add_row(Table& table, const std::string& label, const PortGraph& g,
              const WindowSample& s) {
   const double secs = s.wall_ms / 1e3;
@@ -120,24 +140,15 @@ void add_row(Table& table, const std::string& label, const PortGraph& g,
       .cell(dtop::peak_rss_kb());
 }
 
-}  // namespace
-
-int main() {
-  const bool quick = [] {
-    const char* q = std::getenv("DTOP_BENCH_QUICK");
-    return q && *q;
-  }();
-
-  std::cout << "E10: engine wall time at scale. node_steps/steady_allocs are "
-               "model-exact; wall columns are hardware-dependent (CI gates "
-               "them at a relative tolerance).\n";
-
+Table walltime_table(bool quick) {
   Table table({"workload", "N", "E", "window_ticks", "node_steps",
                "steady_allocs", "wall_ms", "ticks_per_s", "ns_per_node_step",
                "peak_rss_kb"});
   table.set_caption(
       "E10: steady-state wall time (flood = pure engine, gtd = truncated "
-      "protocol run with transcript)");
+      "protocol run with transcript; engine threads = bench_threads())");
+
+  const int threads = bench_threads();
 
   // Pure-engine dense floods: every node active every tick once the flood
   // saturates (warmup >> diameter). 2^17 = 131072 covers the 10^5 target in
@@ -146,7 +157,7 @@ int main() {
   if (!quick) ks.push_back(20);
   for (const int k : ks) {
     const PortGraph g = de_bruijn(k);
-    FloodEngine engine(g, 0, {}, /*num_threads=*/1);
+    FloodEngine engine(g, 0, {}, bench_engine_options(threads));
     const WindowSample s = time_window(engine, /*warmup=*/64, /*window=*/64);
     add_row(table, "flood-debruijn-" + std::to_string(g.num_nodes()), g, s);
   }
@@ -155,7 +166,7 @@ int main() {
   // engine overhead rather than per-node throughput.
   {
     const PortGraph g = directed_ring(4096);
-    FloodEngine engine(g, 0, {}, /*num_threads=*/1);
+    FloodEngine engine(g, 0, {}, bench_engine_options(threads));
     const WindowSample s =
         time_window(engine, /*warmup=*/64, /*window=*/2048);
     add_row(table, "flood-ring-4096", g, s);
@@ -171,15 +182,106 @@ int main() {
     Transcript t;
     GtdMachine::Config cfg;
     cfg.transcript = &t;
-    GtdEngine engine(g, 0, cfg, /*num_threads=*/1);
+    GtdEngine engine(g, 0, cfg, bench_engine_options(threads));
     const WindowSample s =
         time_window(engine, /*warmup=*/2048, /*window=*/256);
     add_row(table, "gtd-debruijn-" + std::to_string(g.num_nodes()), g, s);
   }
+  return table;
+}
 
-  table.print(std::cout);
+Table thread_scaling_table(bool quick) {
+  Table table({"workload", "threads", "N", "window_ticks", "node_steps",
+               "steady_allocs", "wall_ms", "ticks_per_s", "speedup"});
+  table.set_caption(
+      "E10: dense-flood thread scaling (speedup = wall_1 / wall_T; "
+      "model columns are identical across thread counts by construction)");
+
+  std::vector<int> ks = {17};
+  if (!quick) ks.push_back(20);
+  for (const int k : ks) {
+    const PortGraph g = de_bruijn(k);
+    const std::string label = "flood-debruijn-" + std::to_string(g.num_nodes());
+    double wall_1 = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      FloodEngine engine(g, 0, {}, bench_engine_options(threads));
+      const WindowSample s =
+          time_window(engine, /*warmup=*/64, /*window=*/64);
+      if (threads == 1) wall_1 = s.wall_ms;
+      const double secs = s.wall_ms / 1e3;
+      const double ticks_per_s =
+          secs > 0 ? static_cast<double>(s.window_ticks) / secs : 0.0;
+      const double speedup = s.wall_ms > 0 ? wall_1 / s.wall_ms : 0.0;
+      table.row()
+          .cell(label)
+          .cell(static_cast<std::uint64_t>(threads))
+          .cell(static_cast<std::uint64_t>(g.num_nodes()))
+          .cell(static_cast<std::uint64_t>(s.window_ticks))
+          .cell(s.node_steps)
+          .cell(s.steady_allocs)
+          .cell(s.wall_ms, 3)
+          .cell(ticks_per_s, 1)
+          .cell(speedup, 2);
+    }
+  }
+  return table;
+}
+
+Table calibration_table() {
+  Table table({"workload", "threads", "grain", "default", "wall_ms",
+               "ns_per_node_step"});
+  table.set_caption(
+      "E10: parallel_grain calibration at 2 threads (the default grain "
+      "should sit at or near the minimum of this curve on multi-core "
+      "hardware; on one core the curve is flat)");
+
+  const PortGraph g = de_bruijn(15);
+  const std::string label = "flood-debruijn-" + std::to_string(g.num_nodes());
+  for (const std::size_t grain : {std::size_t{32}, std::size_t{96},
+                                  std::size_t{256}, std::size_t{1024}}) {
+    EngineOptions opt = bench_engine_options(2);
+    opt.parallel_grain = grain;
+    FloodEngine engine(g, 0, {}, opt);
+    const WindowSample s = time_window(engine, /*warmup=*/64, /*window=*/64);
+    const double ns_per_step =
+        s.node_steps > 0 ? s.wall_ms * 1e6 / static_cast<double>(s.node_steps)
+                         : 0.0;
+    table.row()
+        .cell(label)
+        .cell(std::uint64_t{2})
+        .cell(static_cast<std::uint64_t>(grain))
+        .cell(grain == FloodEngine::kDefaultParallelGrain ? "*" : "")
+        .cell(s.wall_ms, 3)
+        .cell(ns_per_step, 2);
+  }
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = [] {
+    const char* q = std::getenv("DTOP_BENCH_QUICK");
+    return q && *q;
+  }();
+
+  std::cout << "E10: engine wall time at scale. node_steps/steady_allocs are "
+               "model-exact; wall columns are hardware-dependent (CI gates "
+               "them at a relative tolerance; speedup is gated as skip "
+               "because it measures the runner's core count).\n";
+
+  const Table walltime = walltime_table(quick);
+  const Table scaling = thread_scaling_table(quick);
+  const Table calibration = calibration_table();
+
+  walltime.print(std::cout);
+  scaling.print(std::cout);
+  calibration.print(std::cout);
+
   dtop::bench::BenchJson json("E10");
-  json.add("walltime", table);
+  json.add("walltime", walltime);
+  json.add("thread_scaling", scaling);
+  json.add("calibration", calibration);
   json.write(std::cout);
   return 0;
 }

@@ -16,6 +16,15 @@ namespace {
 using namespace dtop;
 using namespace dtop::bench;
 
+// The standard 1/2/4 ladder, plus DTOP_BENCH_THREADS when it names a count
+// not already on the ladder — so any row of the committed tables can be
+// reproduced at an arbitrary thread count without editing this file.
+void thread_args(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  const int t = bench_threads();
+  if (t != 1 && t != 2 && t != 4) b->Arg(t);
+}
+
 void BM_EngineThroughput(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   const PortGraph g = de_bruijn(6);  // 64 nodes, 128 wires
@@ -23,6 +32,7 @@ void BM_EngineThroughput(benchmark::State& state) {
   for (auto _ : state) {
     GtdOptions opt;
     opt.num_threads = threads;
+    opt.pin_threads = bench_pin();
     GtdResult r = run_gtd(g, 0, opt);
     benchmark::DoNotOptimize(r.stats.ticks);
     ticks += static_cast<std::uint64_t>(r.stats.ticks);
@@ -34,9 +44,7 @@ void BM_EngineThroughput(benchmark::State& state) {
       static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EngineThroughput)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Apply(thread_args)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -54,16 +62,17 @@ void BM_EngineDenseActiveSet(benchmark::State& state) {
     GtdMachine::Config cfg;
     cfg.protocol = opt.protocol;
     cfg.transcript = &t;
-    GtdEngine engine(g, 0, cfg, threads);
+    EngineOptions eopt;
+    eopt.num_threads = threads;
+    eopt.pin_threads = bench_pin();
+    GtdEngine engine(g, 0, cfg, eopt);
     engine.schedule(0);
     engine.run(opt.max_ticks);
     benchmark::DoNotOptimize(engine.stats().node_steps);
   }
 }
 BENCHMARK(BM_EngineDenseActiveSet)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Apply(thread_args)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 
 #include "cli/cli_io.hpp"
@@ -57,6 +58,15 @@ void check_spec(const GraphSpec& spec) {
 
 namespace {
 
+// Engine threads when `bench --threads` is unset: DTOP_BENCH_THREADS, else
+// 1. Mirrors bench::bench_threads() (bench/ isn't linked into the CLI).
+int env_bench_threads() {
+  const char* env = std::getenv("DTOP_BENCH_THREADS");
+  if (!env || !*env) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<int>(v) : 1;
+}
+
 void print_map_edges(const TopologyMap& map, std::ostream& out) {
   out << "Recovered topology (node 0 is the root; nodes are named by their "
          "canonical path from the root):\n";
@@ -80,6 +90,8 @@ RunOptions parse_run_args(const std::vector<std::string>& args) {
     } else if (f == "--threads") {
       opt.threads = parse_int_as<int>(f, w.value());
       if (opt.threads < 1) throw UsageError("--threads must be >= 1");
+    } else if (f == "--pin") {
+      opt.pin = true;
     } else if (f == "--max-ticks") {
       opt.max_ticks = parse_int_as<std::int64_t>(f, w.value());
     } else if (f == "--verify") {
@@ -163,6 +175,11 @@ BenchOptions parse_bench_args(const std::vector<std::string>& args) {
       if (opt.sizes.empty()) throw UsageError("--sizes list is empty");
     } else if (f == "--seed") {
       opt.seed = parse_u64(f, w.value());
+    } else if (f == "--threads") {
+      opt.threads = parse_int_as<int>(f, w.value());
+      if (opt.threads < 1) throw UsageError("--threads must be >= 1");
+    } else if (f == "--pin") {
+      opt.pin = true;
     } else {
       throw UsageError("unknown flag '" + f + "' for 'bench'");
     }
@@ -198,6 +215,7 @@ int run_command(const RunOptions& opt, std::ostream& out, std::ostream& err) {
 
   GtdOptions gopt;
   gopt.num_threads = opt.threads;
+  gopt.pin_threads = opt.pin;
   gopt.max_ticks = opt.max_ticks;
   const GtdResult result = run_gtd(g, opt.root, gopt);
   if (result.status != RunStatus::kTerminated) {
@@ -296,7 +314,12 @@ int bench_command(const BenchOptions& opt, std::ostream& out,
       const FamilyInstance fi = make_family(fam, size, opt.seed);
       const NodeId n = fi.graph.num_nodes();
       const std::uint32_t d = diameter(fi.graph);
-      const GtdResult result = run_gtd(fi.graph, /*root=*/0);
+      GtdOptions gopt;
+      // Flag beats DTOP_BENCH_THREADS beats 1 — the same resolution the
+      // bench binaries use, so a table row is reproducible either way.
+      gopt.num_threads = opt.threads > 0 ? opt.threads : env_bench_threads();
+      gopt.pin_threads = opt.pin;
+      const GtdResult result = run_gtd(fi.graph, /*root=*/0, gopt);
       if (result.status != RunStatus::kTerminated ||
           !verify_map(fi.graph, 0, result.map).ok) {
         err << "error: " << fam << " N=" << n
@@ -330,16 +353,17 @@ std::string usage_text() {
       "\n"
       "Usage:\n"
       "  dtopctl run    (--family NAME --nodes N | --graph FILE) [--seed S]\n"
-      "                 [--root R] [--threads T] [--max-ticks T] [--verify]\n"
-      "                 [--map-out FILE] [--quiet]\n"
+      "                 [--root R] [--threads T] [--pin] [--max-ticks T]\n"
+      "                 [--verify] [--map-out FILE] [--quiet]\n"
       "  dtopctl gen    --family NAME --nodes N [--seed S] [--out FILE] [--dot]\n"
       "                 [--permute SEED]\n"
       "  dtopctl verify --graph FILE --map FILE [--root R]\n"
       "  dtopctl bench  [--families a,b,...] [--sizes n1,n2,...] [--seed S]\n"
+      "                 [--threads T] [--pin]\n"
       "  dtopctl sweep  [--spec FILE] [--families a,b,...] [--sizes LIST]\n"
       "                 [--seeds LIST] [--configs ratio1..ratio4]\n"
       "                 [--scenarios none,budget@T,kill@T,unmark@T,dfs@T]\n"
-      "                 [--root R] [--max-ticks T] [--threads T]\n"
+      "                 [--root R] [--max-ticks T] [--threads T] [--pin]\n"
       "                 [--format table|json|csv] [--out FILE] [--timing]\n"
       "                 [--quiet] [--trace-dir DIR] [--cluster SOCKS]\n"
       "  dtopctl trace  record  (--family NAME --nodes N | --graph FILE)\n"
@@ -350,12 +374,12 @@ std::string usage_text() {
       "  dtopctl trace  diff    --a FILE --b FILE\n"
       "  dtopctl trace  replay  --trace FILE [--threads T]\n"
       "  dtopctl serve  (--socket PATH | --listen HOST:PORT) [--workers N]\n"
-      "                 [--cache N] [--cache-store FILE] [--trace-dir DIR]\n"
-      "                 [--quiet]\n"
+      "                 [--pin] [--cache N] [--cache-store FILE]\n"
+      "                 [--trace-dir DIR] [--quiet]\n"
       "  dtopctl client (--socket EP | --cluster EPS) [--request JSON]...\n"
       "                 [--in FILE] [--shutdown]\n"
       "  dtopctl cluster --shards N (--socket-dir DIR | --tcp-base PORT)\n"
-      "                 [--workers N] [--cache N] [--cache-dir DIR]\n"
+      "                 [--workers N] [--pin] [--cache N] [--cache-dir DIR]\n"
       "                 [--trace-dir DIR] [--max-restarts N] [--exe PATH]\n"
       "                 [--quiet]\n"
       "  dtopctl loadgen (--endpoint EP | --cluster EPS) [--concurrency C]\n"

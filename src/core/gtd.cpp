@@ -43,7 +43,12 @@ GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt) {
   cfg.transcript = &result.transcript;
   cfg.observer = opt.observer;
 
-  GtdEngine engine(g, root, cfg, opt.num_threads, opt.arena);
+  EngineOptions eopt;
+  eopt.num_threads = opt.num_threads;
+  eopt.arena = opt.arena;
+  eopt.pin_threads = opt.pin_threads;
+  eopt.parallel_grain = opt.parallel_grain;
+  GtdEngine engine(g, root, cfg, eopt);
   if (opt.trace) {
     opt.trace->begin(g, root, opt.protocol);
     engine.set_trace_sink(opt.trace);

@@ -189,7 +189,9 @@ std::vector<NodeId> parse_sizes(const std::string& text) {
 }  // namespace
 
 Service::Service(const ServiceOptions& opt)
-    : opt_(opt), cache_(opt.cache_capacity), pool_(opt.workers) {
+    : opt_(opt),
+      cache_(opt.cache_capacity),
+      pool_(ThreadPoolOptions{opt.workers, opt.pin_workers}) {
   DTOP_REQUIRE(opt.workers >= 1, "service workers must be >= 1");
   if (!opt_.cache_store.empty()) {
     std::ostream& warn = opt_.warn ? *opt_.warn : std::cerr;

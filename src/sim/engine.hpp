@@ -20,18 +20,35 @@
 // transcripts, and stats are identical to a dense sweep that steps every
 // node every tick.
 //
+// Wire occupancy is a hierarchical bitmap (detail::WireBitmap): one bit per
+// wire at level 0, one summary bit per 64-wire word at level 1, one per
+// 64 l1-words at level 2. Staging a send is an idempotent relaxed fetch_or;
+// the per-tick receiver scan walks only the set summary words, consuming 64
+// wires per load. Determinism at any thread count falls out of three facts:
+// (a) the bitmap is an OR-accumulator, so the staged *set* is independent of
+// worker interleaving; (b) each wire has exactly one source node, stepped by
+// exactly one worker, so the fresh-vs-resend decision for a wire is made by
+// a single thread; (c) the receiver sweep runs sequentially in ascending
+// wire order after the tick barrier, so the next active set — and every
+// trace event derived from it — is a pure function of the staged set.
+//
 // Memory layout: every piece of per-run state — machine array, the two
-// wire-message/present buffers, the flattened port->wire tables, dirty
-// lists, active/pending sets, and the per-thread scratch — lives in one
-// Arena in struct-of-arrays form. A tick walks contiguous arrays, and once
-// capacities have warmed up (first few ticks), a steady-state tick performs
-// zero heap allocations on the stepping thread; EngineStats::allocs makes
-// that a checkable number. The arena can be caller-owned (runner workers
-// and dtopd reuse one arena's high-water footprint across runs) or
-// engine-owned when none is supplied.
+// wire-message buffers and their bitmaps, the flattened port->wire tables,
+// active/pending sets, and the per-worker scratch — lives in one Arena in
+// struct-of-arrays form. A tick walks contiguous arrays, and once capacities
+// have warmed up (first few ticks), a steady-state tick performs zero heap
+// allocations on the stepping thread; EngineStats::allocs makes that a
+// checkable number. The arena can be caller-owned (runner workers and dtopd
+// reuse one arena's high-water footprint across runs) or engine-owned when
+// none is supplied. Pool workers are persistent: spawned once at engine
+// construction (optionally pinned, see ThreadPoolOptions), they first-touch
+// their own scratch before the first tick and meet the stepping thread at a
+// spin-then-park tick barrier.
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -48,19 +65,135 @@
 
 namespace dtop {
 
-// Per-thread effect lists, sized at engine construction so the hot path can
+namespace detail {
+
+// Hierarchical wire-occupancy bitmap. l0 bit w = wire w carries a staged
+// character; l1 bit i = l0 word i is nonzero; l2 bit j = l1 word j is
+// nonzero. l2 is walked linearly (one word per 256Ki wires), so sweeps and
+// clears cost O(set words), not O(wire slots).
+struct WireBitmap {
+  std::uint64_t* l0 = nullptr;
+  std::uint64_t* l1 = nullptr;
+  std::uint64_t* l2 = nullptr;
+  std::size_t l2_words = 0;
+};
+
+inline std::size_t bitmap_words(std::size_t bits) {
+  return bits == 0 ? 1 : (bits + 63) / 64;
+}
+
+// Stages wire w (idempotent OR), returning true iff the bit was clear —
+// i.e. this is the wire's first send of the tick. Safe to call from pool
+// workers concurrently: the bitmap is an OR-accumulator, and only the
+// worker stepping w's unique source node ever touches w's bit, so the
+// relaxed pre-load deciding "already staged" is race-free and the
+// fresh/resend outcome is deterministic. Exactly one staging per word
+// observes the 0 -> nonzero transition and publishes the summary bits.
+inline bool wire_stage(WireBitmap& b, WireId w) {
+  std::uint64_t* word = b.l0 + (w >> 6);
+  const std::uint64_t bit = std::uint64_t{1} << (w & 63);
+  if (__atomic_load_n(word, __ATOMIC_RELAXED) & bit) return false;
+  const std::uint64_t old = __atomic_fetch_or(word, bit, __ATOMIC_RELAXED);
+  if (old == 0) {
+    const std::size_t i0 = w >> 6;
+    const std::uint64_t old1 = __atomic_fetch_or(
+        b.l1 + (i0 >> 6), std::uint64_t{1} << (i0 & 63), __ATOMIC_RELAXED);
+    if (old1 == 0)
+      __atomic_fetch_or(b.l2 + (i0 >> 12),
+                        std::uint64_t{1} << ((i0 >> 6) & 63),
+                        __ATOMIC_RELAXED);
+  }
+  return true;
+}
+
+// Plain read; valid whenever no concurrent staging targets this buffer
+// (reads of the readable buffer during a tick, test introspection between
+// ticks).
+inline bool wire_test(const WireBitmap& b, WireId w) {
+  return (b.l0[w >> 6] >> (w & 63)) & 1u;
+}
+
+// Zeroes every set word via the hierarchy: O(set words).
+inline void bitmap_clear(WireBitmap& b) {
+  for (std::size_t i2 = 0; i2 < b.l2_words; ++i2) {
+    std::uint64_t w2 = b.l2[i2];
+    if (!w2) continue;
+    b.l2[i2] = 0;
+    while (w2) {
+      const std::size_t i1 = (i2 << 6) + std::countr_zero(w2);
+      w2 &= w2 - 1;
+      std::uint64_t w1 = b.l1[i1];
+      b.l1[i1] = 0;
+      while (w1) {
+        const std::size_t i0 = (i1 << 6) + std::countr_zero(w1);
+        w1 &= w1 - 1;
+        b.l0[i0] = 0;
+      }
+    }
+  }
+}
+
+// Calls fn(WireId) for every staged wire in ascending wire order,
+// consuming 64 wires per l0 load and skipping empty regions via the
+// summary levels.
+template <typename Fn>
+inline void bitmap_for_each(const WireBitmap& b, Fn&& fn) {
+  for (std::size_t i2 = 0; i2 < b.l2_words; ++i2) {
+    std::uint64_t w2 = b.l2[i2];
+    while (w2) {
+      const std::size_t i1 = (i2 << 6) + std::countr_zero(w2);
+      w2 &= w2 - 1;
+      std::uint64_t w1 = b.l1[i1];
+      while (w1) {
+        const std::size_t i0 = (i1 << 6) + std::countr_zero(w1);
+        w1 &= w1 - 1;
+        std::uint64_t w0 = b.l0[i0];
+        while (w0) {
+          fn(static_cast<WireId>((i0 << 6) + std::countr_zero(w0)));
+          w0 &= w0 - 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+// Per-worker effect list, sized at engine construction so the hot path can
 // append without bounds checks: a stepped node contributes at most one
-// self-reschedule plus one target/dirty entry per out-wire, so a chunk of k
-// nodes writes <= k*(1+delta) sched and <= k*delta dirty entries. Buffers
-// carry one slot of slack because the branch-free resend path in
-// StepContext::out() stores unconditionally and only advances the length
-// for first-use sends. Cache-line aligned so workers never false-share.
+// self-reschedule, so a chunk of k nodes writes <= k sched entries. The
+// buffer carries one slot of slack because the branch-free self-reschedule
+// stores unconditionally and only advances the length when the machine
+// stayed non-idle. Cache-line aligned so workers never false-share; each
+// worker first-touches its own buffer before the first tick.
 struct alignas(64) EngineScratch {
   NodeId* sched = nullptr;
-  WireId* dirty = nullptr;
   std::size_t sched_len = 0;
-  std::size_t dirty_len = 0;
+  std::size_t sched_cap = 0;
   std::uint64_t msgs = 0;
+};
+
+// Engine construction knobs beyond the graph/root/config triple.
+struct EngineOptions {
+  int num_threads = 1;
+
+  // Caller-owned arena (see SyncEngine constructor comment); null = engine
+  // owns a private one.
+  Arena* arena = nullptr;
+
+  // Pin pool-owned workers to distinct CPUs at spawn (best-effort, see
+  // support/affinity.hpp). Off by default: pinning helps dedicated bench
+  // boxes and hurts oversubscribed ones.
+  bool pin_threads = false;
+
+  // Minimum active nodes per worker before a tick forks across the pool;
+  // 0 = kDefaultParallelGrain. Bench E10's calibration table records how
+  // the default was chosen.
+  std::size_t parallel_grain = 0;
+
+  // Spin budget of the tick barrier before parking; < 0 = pool default.
+  // 0 forces the pure-condvar park path (used by the barrier stress test).
+  int spin_iters = -1;
 };
 
 // Per-tick view a machine gets of its node: read-only inputs and merge-style
@@ -77,22 +210,16 @@ class StepContext {
 
   // Staged output character for out-port p (created blank on first use).
   // Requires the port to be connected. The common resend path (wire already
-  // carries a staged character this tick) is branch-free: stores are
-  // unconditional and `fresh` advances the scratch lengths by 0 or 1.
+  // carries a staged character this tick) is a single relaxed load and bit
+  // test against the wire bitmap.
   Message& out(Port p) {
     const WireId w = out_wires_[p];
     DTOP_CHECK(w != kNoWire, "send on unconnected out-port");
-    EngineScratch& s = *scratch_;
-    const std::uint8_t seen = next_present_[w];
-    const std::size_t fresh = static_cast<std::size_t>(1u - seen);
-    next_present_[w] = 1;
-    s.dirty[s.dirty_len] = w;
-    s.dirty_len += fresh;
-    s.sched[s.sched_len] = targets_[w];
-    s.sched_len += fresh;
-    s.msgs += fresh;
     Message& slot = next_msgs_[w];
-    if (fresh) slot = Message{};  // blank-on-first-use; lanes merge into it
+    if (detail::wire_stage(*next_stage_, w)) {
+      ++scratch_->msgs;
+      slot = Message{};  // blank-on-first-use; lanes merge into it
+    }
     return slot;
   }
 
@@ -104,8 +231,7 @@ class StepContext {
   const Message* inputs_[kMaxDegree] = {};
   const WireId* out_wires_ = nullptr;
   Message* next_msgs_ = nullptr;
-  std::uint8_t* next_present_ = nullptr;
-  const NodeId* targets_ = nullptr;
+  detail::WireBitmap* next_stage_ = nullptr;
   EngineScratch* scratch_ = nullptr;
   Tick tick_ = 0;
 };
@@ -116,20 +242,26 @@ class SyncEngine {
   using Message = typename M::Message;
   using Config = typename M::Config;
 
-  // Minimum active nodes per worker before a tick is split across the pool.
-  static constexpr std::size_t kParallelGrain = 96;
+  // Default minimum active nodes per worker before a tick is split across
+  // the pool (EngineOptions::parallel_grain overrides; bench E10's
+  // calibration table records the measurement behind the default).
+  static constexpr std::size_t kDefaultParallelGrain = 96;
 
-  // When `arena` is null the engine owns a private arena; a caller-supplied
-  // arena must outlive the engine and may be reset (and handed to a new
-  // engine) once this engine is destroyed — runner workers and dtopd reuse
-  // one warm arena per worker thread this way.
+  // When `opt.arena` is null the engine owns a private arena; a
+  // caller-supplied arena must outlive the engine and may be reset (and
+  // handed to a new engine) once this engine is destroyed — runner workers
+  // and dtopd reuse one warm arena per worker thread this way.
   SyncEngine(const PortGraph& g, NodeId root, const Config& cfg,
-             int num_threads = 1, Arena* arena = nullptr)
-      : graph_(&g), root_(root), pool_(num_threads) {
+             const EngineOptions& opt)
+      : graph_(&g),
+        root_(root),
+        pool_(pool_options(opt)),
+        grain_(opt.parallel_grain ? opt.parallel_grain
+                                  : kDefaultParallelGrain) {
     DTOP_REQUIRE(root < g.num_nodes(), "root out of range");
     g.validate();
-    if (arena) {
-      arena_ = arena;
+    if (opt.arena) {
+      arena_ = opt.arena;
     } else {
       owned_arena_.emplace();
       arena_ = &*owned_arena_;
@@ -139,11 +271,20 @@ class SyncEngine {
     const std::size_t wire_slots = g.wire_slots();
     const Port delta = g.delta();
 
+    const std::size_t w0 = detail::bitmap_words(wire_slots);
+    const std::size_t w1 = detail::bitmap_words(w0);
+    const std::size_t w2 = detail::bitmap_words(w1);
     for (int b = 0; b < 2; ++b) {
       msgs_[b].bind(*arena_);
       msgs_[b].resize(wire_slots);
-      present_[b].bind(*arena_);
-      present_[b].assign(wire_slots, 0);
+      detail::WireBitmap& bm = stage_[b];
+      bm.l0 = arena_->allocate_array<std::uint64_t>(w0);
+      bm.l1 = arena_->allocate_array<std::uint64_t>(w1);
+      bm.l2 = arena_->allocate_array<std::uint64_t>(w2);
+      bm.l2_words = w2;
+      std::memset(bm.l0, 0, w0 * sizeof(std::uint64_t));
+      std::memset(bm.l1, 0, w1 * sizeof(std::uint64_t));
+      std::memset(bm.l2, 0, w2 * sizeof(std::uint64_t));
     }
     targets_.bind(*arena_);
     targets_.assign(wire_slots, kNoNode);
@@ -180,8 +321,6 @@ class SyncEngine {
     sched_stamp_.assign(n, -1);
     pending_.bind(*arena_);
     active_.bind(*arena_);
-    cur_dirty_.bind(*arena_);
-    next_dirty_.bind(*arena_);
 
     const std::size_t nthreads = static_cast<std::size_t>(pool_.size());
     const std::size_t chunk = (n + nthreads - 1) / nthreads;
@@ -190,13 +329,24 @@ class SyncEngine {
       EngineScratch* s = ::new (&scratch_[t]) EngineScratch{};
       // Scratch 0 also serves the small-tick inline path, which steps the
       // whole active set on the calling thread.
-      const std::size_t nodes = t == 0 ? n : chunk;
-      s->sched = arena_->allocate_array<NodeId>(nodes * (1 + delta) + 1);
-      s->dirty = arena_->allocate_array<WireId>(nodes * delta + 1);
+      s->sched_cap = (t == 0 ? n : chunk) + 1;
+      s->sched = arena_->allocate_array<NodeId>(s->sched_cap);
     }
+    // First-touch: each worker initialises its own scratch buffer so the
+    // pages land on the worker's node (workers were pinned — if requested —
+    // at pool construction, before this fork). Pages a reused warm arena
+    // already faulted in stay where they were.
+    pool_.run([this](int t) {
+      EngineScratch& s = scratch_[static_cast<std::size_t>(t)];
+      std::memset(s.sched, 0, s.sched_cap * sizeof(NodeId));
+    });
 
     alloc_mark_ = heap_alloc_count();
   }
+
+  SyncEngine(const PortGraph& g, NodeId root, const Config& cfg,
+             int num_threads = 1, Arena* arena = nullptr)
+      : SyncEngine(g, root, cfg, EngineOptions{num_threads, arena}) {}
 
   const PortGraph& graph() const { return *graph_; }
   NodeId root() const { return root_; }
@@ -205,6 +355,12 @@ class SyncEngine {
 
   // The arena this engine's state lives in (owned or caller-supplied).
   const Arena& arena() const { return *arena_; }
+
+  // The effective parallel-split threshold (active nodes per worker).
+  std::size_t parallel_grain() const { return grain_; }
+
+  // The engine's worker pool (introspection: size, pinned).
+  const ThreadPool& pool() const { return pool_; }
 
   M& machine(NodeId v) { return machines_[v]; }
   const M& machine(NodeId v) const { return machines_[v]; }
@@ -229,28 +385,28 @@ class SyncEngine {
 
   // True when a character is in flight on wire w (sent this tick, readable
   // next tick). Used by end-state pristineness audits.
-  bool wire_pending(WireId w) const { return present_[next_][w] != 0; }
+  bool wire_pending(WireId w) const {
+    return detail::wire_test(stage_[next_], w);
+  }
 
   // The in-flight character on wire w, or nullptr when the wire is silent.
   // Test-only introspection (micro-trace tests check snake speeds).
   const Message* staged_message(WireId w) const {
-    return present_[next_][w] ? &msgs_[next_][w] : nullptr;
+    return detail::wire_test(stage_[next_], w) ? &msgs_[next_][w] : nullptr;
   }
 
   // Test-only fault injection: places (or overwrites) a character in flight
   // on wire w, delivered at the next tick. Used to verify the fail-loud
   // posture: a corrupted network must never yield a silently wrong map.
+  // The receiver is activated by the next tick's bitmap sweep, exactly as
+  // if a stepped node had staged the send.
   void inject(WireId w, const Message& m) {
     DTOP_REQUIRE(w < msgs_[next_].size() && targets_[w] != kNoNode,
                  "inject: bad wire");
-    if (trace_) trace_->on_inject(tick_, w, m, present_[next_][w] != 0);
-    if (!present_[next_][w]) {
-      present_[next_][w] = 1;
-      next_dirty_.push_back(w);
-      ++stats_.messages;
-    }
+    if (trace_)
+      trace_->on_inject(tick_, w, m, detail::wire_test(stage_[next_], w));
+    if (detail::wire_stage(stage_[next_], w)) ++stats_.messages;
     msgs_[next_][w] = m;
-    pending_.push_back(targets_[w]);
   }
 
   // One global clock tick.
@@ -259,25 +415,39 @@ class SyncEngine {
     // Sent-last-tick becomes readable now.
     std::swap(cur_, next_);
 
-    // Deduplicate the active set (stable order not required: node updates
-    // are independent).
+    // Build the active set, deduplicated via per-node tick stamps:
+    // carried-over schedules first (self-reschedules in last tick's step
+    // order, then external schedule() calls in call order), then every
+    // receiver of a staged wire, found by sweeping the readable bitmap in
+    // ascending wire order — 64 wires per load, empty regions skipped via
+    // the summary levels. The sweep is sequential and its input set is
+    // interleaving-independent, so the active order is identical at any
+    // thread count.
     active_.clear();
+    Tick* stamp = sched_stamp_.data();
+    for (NodeId v : pending_) {
+      if (stamp[v] != tick_) {
+        stamp[v] = tick_;
+        active_.push_back(v);
+      }
+    }
+    pending_.clear();
     {
-      Tick* stamp = sched_stamp_.data();
-      for (NodeId v : pending_) {
+      const NodeId* tgt = targets_.data();
+      detail::bitmap_for_each(stage_[cur_], [&](WireId w) {
+        const NodeId v = tgt[w];
         if (stamp[v] != tick_) {
           stamp[v] = tick_;
           active_.push_back(v);
         }
-      }
+      });
     }
-    pending_.clear();
 
     const std::size_t count = active_.size();
     // Granularity control: a fork-join per tick only pays off when there is
     // enough node work to split. Small active sets (the common case outside
     // snake floods) run inline; the result is bit-identical either way.
-    const int nthreads = count >= kParallelGrain * 2 ? pool_.size() : 1;
+    const int nthreads = count >= grain_ * 2 ? pool_.size() : 1;
     if (count > 0 && nthreads > 1) {
       pool_.run([&](int t) {
         EngineScratch& s = scratch_[static_cast<std::size_t>(t)];
@@ -301,37 +471,32 @@ class SyncEngine {
         trace_->on_step(tick_, active_[i]);
     }
 
-    // Merge thread-local effects (deterministic: sums and set-unions). Each
-    // thread handles a contiguous chunk of the active set, so concatenating
-    // the per-thread lists in thread order reproduces the order a sequential
-    // scan of `active_` would have produced — the trace emitted here is
-    // bit-identical at any thread count.
+    // Merge per-worker effects (deterministic: each worker stepped a
+    // contiguous chunk of the active set, so concatenating the per-worker
+    // self-reschedule lists in worker order reproduces the order a
+    // sequential scan of `active_` would have produced).
     const std::size_t pool_size = static_cast<std::size_t>(pool_.size());
     for (std::size_t t = 0; t < pool_size; ++t) {
       EngineScratch& s = scratch_[t];
       pending_.append(s.sched, s.sched_len);
       s.sched_len = 0;
-    }
-    for (std::size_t t = 0; t < pool_size; ++t) {
-      EngineScratch& s = scratch_[t];
-      if (trace_) {
-        for (std::size_t j = 0; j < s.dirty_len; ++j)
-          trace_->on_send(tick_, s.dirty[j], msgs_[next_][s.dirty[j]]);
-      }
-      next_dirty_.append(s.dirty, s.dirty_len);
-      s.dirty_len = 0;
       stats_.messages += s.msgs;
       s.msgs = 0;
     }
 
-    // The cur buffer has been fully consumed; clear it for reuse as the next
-    // staging buffer.
-    {
-      std::uint8_t* cur_present = present_[cur_].data();
-      for (WireId w : cur_dirty_) cur_present[w] = 0;
+    // Sends staged this tick, in ascending wire order (the staged set is
+    // interleaving-independent, so this too is bit-identical at any thread
+    // count).
+    if (trace_) {
+      const Message* staged = msgs_[next_].data();
+      detail::bitmap_for_each(stage_[next_], [&](WireId w) {
+        trace_->on_send(tick_, w, staged[w]);
+      });
     }
-    cur_dirty_.clear();
-    cur_dirty_.swap(next_dirty_);
+
+    // The cur buffer has been fully consumed; clear its bitmap (O(set
+    // words) via the hierarchy) for reuse as the next staging buffer.
+    detail::bitmap_clear(stage_[cur_]);
 
     stats_.ticks = tick_;
     stats_.node_steps += count;
@@ -357,23 +522,31 @@ class SyncEngine {
   }
 
  private:
+  static ThreadPoolOptions pool_options(const EngineOptions& opt) {
+    ThreadPoolOptions p;
+    p.num_threads = opt.num_threads;
+    p.pin_threads = opt.pin_threads;
+    if (opt.spin_iters >= 0) p.spin_iters = opt.spin_iters;
+    return p;
+  }
+
   void step_node(NodeId v, EngineScratch& s) {
     StepContext<Message> ctx;
     ctx.tick_ = tick_;
     const std::size_t row = std::size_t{v} * kMaxDegree;
     const WireId* in_row = node_in_wires_.data() + row;
     const Message* cur_msgs = msgs_[cur_].data();
-    const std::uint8_t* cur_present = present_[cur_].data();
+    const detail::WireBitmap& cur_stage = stage_[cur_];
     const Port delta = graph_->delta();
     for (Port p = 0; p < delta; ++p) {
       const WireId in_w = in_row[p];
-      ctx.inputs_[p] =
-          (in_w != kNoWire && cur_present[in_w]) ? &cur_msgs[in_w] : nullptr;
+      ctx.inputs_[p] = (in_w != kNoWire && detail::wire_test(cur_stage, in_w))
+                           ? &cur_msgs[in_w]
+                           : nullptr;
     }
     ctx.out_wires_ = node_out_wires_.data() + row;
     ctx.next_msgs_ = msgs_[next_].data();
-    ctx.next_present_ = present_[next_].data();
-    ctx.targets_ = targets_.data();
+    ctx.next_stage_ = &stage_[next_];
     ctx.scratch_ = &s;
 
     M& m = machines_.data()[v];
@@ -392,13 +565,13 @@ class SyncEngine {
   const PortGraph* graph_;
   NodeId root_;
   ThreadPool pool_;
+  std::size_t grain_;
   ArenaVector<M> machines_;
 
   // Double-buffered wire state. Index cur_: readable this tick; next_:
   // staged for next tick.
   ArenaVector<Message> msgs_[2];
-  ArenaVector<std::uint8_t> present_[2];
-  ArenaVector<WireId> cur_dirty_, next_dirty_;
+  detail::WireBitmap stage_[2];
   int cur_ = 0, next_ = 1;
   ArenaVector<NodeId> targets_;
   ArenaVector<WireId> node_in_wires_, node_out_wires_;

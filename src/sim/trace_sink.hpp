@@ -3,10 +3,13 @@
 // out-of-band schedules, and fault injections.
 //
 // The sink is invoked *sequentially* even on a multi-threaded engine: step
-// and send notifications are emitted after the tick's fork-join, walking the
-// merged per-thread effect lists in their deterministic merge order. A trace
-// captured at any thread count is therefore bit-identical (the same property
-// the engine already guarantees for wire state, extended to observation).
+// notifications are emitted after the tick's fork-join in active-set order
+// (itself a deterministic function of previous ticks), and send
+// notifications walk the tick's staged-wire bitmap in ascending wire order
+// (the staged set is an OR-accumulator, independent of worker
+// interleaving). A trace captured at any thread count is therefore
+// bit-identical (the same property the engine already guarantees for wire
+// state, extended to observation).
 // The hot path pays one pointer null-check per tick when no sink is
 // attached.
 //

@@ -1,10 +1,19 @@
-// A minimal persistent thread pool with a fork-join `run` primitive, shared
+// A persistent-worker thread pool with a fork-join `run` primitive, shared
 // by every concurrent layer in the repo: the BSP engine runs one fork-join
 // per global clock tick (the join doubles as the tick barrier), the
 // campaign runner fans jobs out over it, and the dtopd service drives its
 // request workers with a single long-lived fork-join that ends at drain.
+//
+// Workers are created once at pool construction and live until the
+// destructor. Dispatch and join go through a spin-then-park barrier rather
+// than a pure mutex/condvar handshake: each side first spins on an atomic
+// for `spin_iters` pause iterations (covering the engine's tick cadence,
+// where the next fork arrives microseconds after the last join) and only
+// then parks on a condition variable. The park protocol is lost-wakeup-free
+// by a seq_cst ordering argument spelled out in thread_pool.cpp.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -15,12 +24,29 @@
 
 namespace dtop {
 
+struct ThreadPoolOptions {
+  // Total workers (including the calling thread's share): run(body) invokes
+  // body(i) for i in [0, num_threads), body(0) on the calling thread.
+  int num_threads = 1;
+
+  // Pin each pool-owned worker i (1 <= i < num_threads) to the i'th CPU of
+  // the process affinity mask at thread start, before it touches any
+  // scratch memory — so first-touch page placement follows the pin. The
+  // calling thread (worker 0) is never pinned; hijacking the caller's
+  // affinity would leak into unrelated work on that thread. Best-effort:
+  // see support/affinity.hpp.
+  bool pin_threads = false;
+
+  // Spin budget (pause iterations) before a worker or the joining caller
+  // parks on a condvar. 0 means park immediately (pure condvar behaviour).
+  int spin_iters = 1024;
+};
+
 class ThreadPool {
  public:
-  // num_threads == total workers (including the calling thread's share):
-  // run(body) invokes body(i) for i in [0, num_threads), body(0) on the
-  // calling thread.
-  explicit ThreadPool(int num_threads);
+  explicit ThreadPool(int num_threads)
+      : ThreadPool(ThreadPoolOptions{num_threads}) {}
+  explicit ThreadPool(const ThreadPoolOptions& opt);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,28 +54,43 @@ class ThreadPool {
 
   int size() const { return num_threads_; }
 
+  // True when pinning was requested and every pool-owned worker pinned
+  // successfully (vacuously true for a 1-thread pool with pin_threads set).
+  bool pinned() const;
+
   // Blocks until every body(i) has returned. Exceptions from worker bodies
   // are rethrown on the calling thread. Takes a FunctionRef, not a
   // std::function: the engine forks once per tick, and a std::function
   // built from a capturing lambda heap-allocates — a per-tick allocation
   // the zero-alloc hot path can't afford. The callable only needs to
-  // outlive the join, which it always does here.
+  // outlive the join, which it always does here. Only one run() may be in
+  // flight at a time (single dispatcher).
   void run(FunctionRef<void(int)> body);
 
  private:
   void worker_loop(int index);
 
   int num_threads_;
+  bool pin_requested_ = false;
+  int spin_iters_ = 0;
   std::vector<std::thread> threads_;
 
+  // Hot-path barrier state, on separate cache lines so the dispatcher's
+  // generation bump and the workers' completion decrements don't ping-pong.
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+  alignas(64) std::atomic<int> unfinished_{0};
+  alignas(64) std::atomic<bool> stop_{false};
+
+  // Park/wake state (cold path only).
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+  std::atomic<int> parked_{0};
+  std::atomic<bool> caller_parked_{false};
+
   const FunctionRef<void(int)>* body_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stopping_ = false;
   std::exception_ptr first_error_;
+  std::atomic<int> pins_ok_{0};
 };
 
 }  // namespace dtop

@@ -46,15 +46,16 @@ class MachineHarness {
           (p < env_.delta && (env_.out_mask & (1u << p))) ? p : kNoWire;
     }
     for (auto& o : outputs_) o.reset();
-    present_.fill(0);
+    bits_.fill(0);
+    stage_.l0 = &bits_[0];
+    stage_.l1 = &bits_[1];
+    stage_.l2 = &bits_[2];
+    stage_.l2_words = 1;
     ctx.out_wires_ = out_wires_.data();
     ctx.next_msgs_ = staged_.data();
-    ctx.next_present_ = present_.data();
-    ctx.targets_ = targets_.data();
+    ctx.next_stage_ = &stage_;
     scratch_.sched = sched_buf_.data();
-    scratch_.dirty = dirty_buf_.data();
     scratch_.sched_len = 0;
-    scratch_.dirty_len = 0;
     ctx.scratch_ = &scratch_;
 
     machine_.step(ctx);
@@ -62,7 +63,7 @@ class MachineHarness {
     scratch_.msgs = 0;
 
     for (Port p = 0; p < kMaxDegree; ++p)
-      if (present_[p]) outputs_[p] = staged_[p];
+      if (detail::wire_test(stage_, p)) outputs_[p] = staged_[p];
     for (auto& in : inputs_) in.reset();
     return outputs_;
   }
@@ -81,13 +82,13 @@ class MachineHarness {
   std::array<std::optional<Character>, kMaxDegree> inputs_{};
   std::array<std::optional<Character>, kMaxDegree> outputs_{};
   std::array<Character, kMaxDegree> staged_{};
-  std::array<std::uint8_t, kMaxDegree> present_{};
-  std::array<NodeId, kMaxDegree> targets_{};  // dummies
+  // One word per bitmap level is plenty for kMaxDegree wires.
+  std::array<std::uint64_t, 3> bits_{};
+  detail::WireBitmap stage_{};
   std::array<WireId, kMaxDegree> out_wires_{};
-  // One slot of slack: out()'s branch-free resend path stores one past the
+  // One slot of slack: the branch-free self-reschedule stores one past the
   // committed length (see EngineScratch).
   std::array<NodeId, kMaxDegree + 1> sched_buf_{};
-  std::array<WireId, kMaxDegree + 1> dirty_buf_{};
   EngineScratch scratch_{};
   std::uint64_t messages_ = 0;
 };

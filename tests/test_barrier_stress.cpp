@@ -1,0 +1,123 @@
+// Tick-barrier stress: the spin-then-park dispatch protocol under its
+// worst-case regimes. These tests exist to give TSan (and the plain
+// scheduler) maximal opportunity to expose a lost wakeup or a data race in
+// the persistent-worker pipeline:
+//
+//  - spin_iters = 0 forces the pure condvar park path on every dispatch
+//    and every join — no spin window hides a missed notify;
+//  - parallel_grain = 1 forces a fork on every tick with >= 2 active
+//    nodes, so a tiny active set still crosses the barrier each tick;
+//  - 10^5 ticks makes a lost wakeup a hang (caught by the test timeout)
+//    rather than a flake.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "graph/families.hpp"
+#include "sim/engine.hpp"
+
+namespace dtop {
+namespace {
+
+struct FloodMessage {
+  std::uint32_t hops = 0;
+};
+
+// Minimal always-active machine (same shape as the E10 bench workload):
+// the root seeds one character, every node forwards max(hops)+1 on all
+// out-ports forever.
+class FloodMachine {
+ public:
+  using Message = FloodMessage;
+  struct Config {};
+
+  FloodMachine(const MachineEnv& env, const Config&) : env_(env) {}
+
+  void step(StepContext<Message>& ctx) {
+    std::uint32_t best = 0;
+    bool got = false;
+    for (Port p = 0; p < env_.delta; ++p) {
+      if (const Message* m = ctx.input(p)) {
+        got = true;
+        best = std::max(best, m->hops);
+      }
+    }
+    if (!got) {
+      if (!env_.is_root || started_) return;
+      started_ = true;
+    }
+    for (Port p = 0; p < env_.delta; ++p) {
+      if (ctx.out_connected(p)) ctx.out(p).hops = best + 1;
+    }
+  }
+
+  bool idle() const { return true; }
+  bool terminated() const { return false; }
+
+ private:
+  MachineEnv env_;
+  bool started_ = false;
+};
+
+using FloodEngine = SyncEngine<FloodMachine>;
+
+EngineStats run_flood(const PortGraph& g, const EngineOptions& opt,
+                      Tick ticks) {
+  FloodEngine e(g, 0, {}, opt);
+  e.schedule(0);
+  e.run(ticks);
+  return e.stats();
+}
+
+TEST(BarrierStress, TinyActiveSetParkPathManyTicks) {
+  // 4 nodes, all active post-saturation: every tick forks 4 nodes across 4
+  // workers at grain 1, and every barrier crossing goes through the condvar.
+  const PortGraph g = de_bruijn(2);
+  EngineOptions opt;
+  opt.num_threads = 4;
+  opt.parallel_grain = 1;
+  opt.spin_iters = 0;
+  const EngineStats par = run_flood(g, opt, /*ticks=*/100000);
+  EXPECT_EQ(par.ticks, 100000);
+
+  const EngineStats seq = run_flood(g, {}, /*ticks=*/100000);
+  EXPECT_EQ(par.node_steps, seq.node_steps);
+  EXPECT_EQ(par.messages, seq.messages);
+}
+
+TEST(BarrierStress, ForcedForkSteadyStateIsAllocationFree) {
+  // Even in the degenerate fork-every-tick regime, a warmed engine must not
+  // touch the heap: per-worker scratch capacities are sized once.
+  const PortGraph g = de_bruijn(6);
+  EngineOptions opt;
+  opt.num_threads = 4;
+  opt.parallel_grain = 1;
+  opt.spin_iters = 0;
+  FloodEngine e(g, 0, {}, opt);
+  e.schedule(0);
+  e.run(64);
+  const std::uint64_t warm = e.stats().allocs;
+  e.run(256);
+  EXPECT_EQ(e.stats().allocs, warm) << "heap allocation in a forked tick";
+}
+
+TEST(BarrierStress, SpinPathMatchesParkPath) {
+  // The barrier's spin fast path and its park slow path must produce the
+  // same simulation — they differ only in how workers wait.
+  const PortGraph g = de_bruijn(3);
+  EngineOptions spin;
+  spin.num_threads = 4;
+  spin.parallel_grain = 1;
+  spin.spin_iters = 1 << 14;  // effectively never park at this active size
+  EngineOptions park;
+  park.num_threads = 4;
+  park.parallel_grain = 1;
+  park.spin_iters = 0;
+  const EngineStats a = run_flood(g, spin, /*ticks=*/10000);
+  const EngineStats b = run_flood(g, park, /*ticks=*/10000);
+  EXPECT_EQ(a.node_steps, b.node_steps);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace dtop

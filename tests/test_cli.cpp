@@ -59,6 +59,26 @@ TEST(CliParse, RejectsUnknownFlag) {
   EXPECT_THROW(parse_run_args({"--family", "torus", "--bogus"}), UsageError);
 }
 
+TEST(CliParse, PinFlagAcrossSubcommands) {
+  // --pin rides every subcommand that owns a ThreadPool; default off.
+  EXPECT_FALSE(parse_run_args({"--family", "torus"}).pin);
+  EXPECT_TRUE(parse_run_args({"--family", "torus", "--pin"}).pin);
+  EXPECT_FALSE(parse_bench_args({}).pin);
+  EXPECT_TRUE(parse_bench_args({"--pin"}).pin);
+  EXPECT_FALSE(parse_sweep_args({}).pin);
+  EXPECT_TRUE(parse_sweep_args({"--pin"}).pin);
+  EXPECT_FALSE(parse_serve_args({"--socket", "s.sock"}).pin);
+  EXPECT_TRUE(parse_serve_args({"--socket", "s.sock", "--pin"}).pin);
+  EXPECT_FALSE(parse_cluster_args({"--socket-dir", "/tmp"}).pin);
+  EXPECT_TRUE(parse_cluster_args({"--socket-dir", "/tmp", "--pin"}).pin);
+}
+
+TEST(CliParse, BenchThreadsFlag) {
+  EXPECT_EQ(parse_bench_args({}).threads, 0);  // unset: resolve from env
+  EXPECT_EQ(parse_bench_args({"--threads", "4"}).threads, 4);
+  EXPECT_THROW(parse_bench_args({"--threads", "0"}), UsageError);
+}
+
 TEST(CliParse, RejectsMissingValue) {
   EXPECT_THROW(parse_run_args({"--family"}), UsageError);
 }
@@ -530,11 +550,13 @@ TEST(CliMain, TraceDiffPinpointsPerturbedTick) {
 TEST(CliMain, TraceRecordWithScenarioReplays) {
   const std::string path = temp_path("scenario.dtrace");
   std::ostringstream out, err;
-  // kill@40 wrecks the RCA in flight: the run fails (exit 1) but the trace
-  // is still written and must replay cleanly.
+  // kill@60 wrecks the RCA in flight: the run fails (exit 1) but the trace
+  // is still written and must replay cleanly. (The tick matters: a rogue
+  // KILL landing during the protocol's own killing phase — as kill@40 does
+  // on this instance — is absorbed and the run survives.)
   const int rc = cli_main({"trace", "record", "--family", "debruijn",
                            "--nodes", "8", "--max-ticks", "4000",
-                           "--scenario", "kill@40", "--out", path},
+                           "--scenario", "kill@60", "--out", path},
                           out, err);
   EXPECT_EQ(rc, 1);
   std::ostringstream iout, ierr;

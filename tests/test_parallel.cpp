@@ -2,11 +2,15 @@
 // determinism claim of DESIGN.md S2), on the real protocol.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "core/gtd.hpp"
 #include "core/verify.hpp"
 #include "graph/families.hpp"
 #include "graph/random_graph.hpp"
 #include "trace/duration_observer.hpp"
+#include "trace/trace_io.hpp"
 
 namespace dtop {
 namespace {
@@ -17,7 +21,7 @@ void expect_identical_runs(const PortGraph& g, NodeId root) {
   const GtdResult seq = run_gtd(g, root, seq_opt);
   ASSERT_EQ(seq.status, RunStatus::kTerminated);
 
-  for (int threads : {2, 4}) {
+  for (int threads : {2, 4, 8}) {
     GtdOptions par_opt;
     par_opt.num_threads = threads;
     const GtdResult par = run_gtd(g, root, par_opt);
@@ -77,6 +81,70 @@ TEST(ParallelEngine, ObserverRequiresSingleThread) {
   opt.observer = &obs;
   opt.num_threads = 2;
   EXPECT_THROW(run_gtd(g, 0, opt), Error);
+}
+
+// The serialized dtop-trace capture — not just the model-time stats — must
+// be byte-for-byte identical at any thread count. This is the strongest
+// form of the determinism contract: every on_step/on_send/on_schedule event
+// lands in the same order with the same payload.
+std::string record_trace_bytes(const PortGraph& g, NodeId root, int threads) {
+  trace::TraceRecorder rec;
+  GtdOptions opt;
+  opt.num_threads = threads;
+  opt.trace = &rec;
+  const GtdResult r = run_gtd(g, root, opt);
+  EXPECT_EQ(r.status, RunStatus::kTerminated) << threads << " threads";
+  std::ostringstream os;
+  trace::write_trace(os, rec.take());
+  return os.str();
+}
+
+TEST(ParallelEngine, TraceBytesIdenticalAcrossThreadCounts) {
+  const std::pair<const char*, PortGraph> families[] = {
+      {"debruijn-16", de_bruijn(4)},
+      {"tree-loop", tree_loop_random(3, 7)},
+      {"degraded-grid", degraded_grid(4, 4, 0.2, 5)},
+  };
+  for (const auto& [label, g] : families) {
+    const std::string base = record_trace_bytes(g, 0, 1);
+    EXPECT_FALSE(base.empty()) << label;
+    for (const int threads : {2, 8}) {
+      EXPECT_EQ(record_trace_bytes(g, 0, threads), base)
+          << label << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelEngine, GrainOneForcesForkAndStaysIdentical) {
+  // parallel_grain = 1 makes every tick with >= 2 active nodes fork across
+  // the pool — the degenerate maximum-parallelism setting. Results must not
+  // move.
+  const PortGraph g = de_bruijn(4);
+  const GtdResult seq = run_gtd(g, 0);
+  ASSERT_EQ(seq.status, RunStatus::kTerminated);
+
+  GtdOptions opt;
+  opt.num_threads = 4;
+  opt.parallel_grain = 1;
+  const GtdResult par = run_gtd(g, 0, opt);
+  ASSERT_EQ(par.status, RunStatus::kTerminated);
+  EXPECT_EQ(par.stats.ticks, seq.stats.ticks);
+  EXPECT_EQ(par.stats.messages, seq.stats.messages);
+  EXPECT_EQ(par.stats.node_steps, seq.stats.node_steps);
+  EXPECT_EQ(par.transcript.to_string(), seq.transcript.to_string());
+}
+
+TEST(ParallelEngine, PinnedRunStillCorrect) {
+  // Pinning is best-effort (it may silently fail in restricted sandboxes);
+  // either way the run must be untouched.
+  const PortGraph g = de_bruijn(4);
+  GtdOptions opt;
+  opt.num_threads = 2;
+  opt.pin_threads = true;
+  const GtdResult r = run_gtd(g, 0, opt);
+  ASSERT_EQ(r.status, RunStatus::kTerminated);
+  EXPECT_TRUE(verify_map(g, 0, r.map).ok);
+  EXPECT_EQ(r.stats.ticks, run_gtd(g, 0).stats.ticks);
 }
 
 }  // namespace

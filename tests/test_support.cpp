@@ -1,13 +1,18 @@
-// Unit tests for src/support: fixed containers, RNG, statistics, tables.
+// Unit tests for src/support: fixed containers, RNG, statistics, tables,
+// the persistent thread pool, and the affinity helper.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 
+#include "support/affinity.hpp"
 #include "support/error.hpp"
 #include "support/fixed_vector.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dtop {
 namespace {
@@ -204,6 +209,83 @@ TEST(Error, CheckMacroThrowsWithContext) {
     EXPECT_NE(std::string(e.what()).find("context message"),
               std::string::npos);
   }
+}
+
+TEST(ThreadPool, EveryWorkerRunsEachDispatch) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> hits{0};
+  std::atomic<int> mask{0};
+  pool.run([&](int t) {
+    hits.fetch_add(1);
+    mask.fetch_or(1 << t);
+  });
+  EXPECT_EQ(hits.load(), 4);
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(ThreadPool, ManySmallDispatchesStress) {
+  // 20k back-to-back barrier crossings: a lost wakeup anywhere in the
+  // dispatch/join protocol shows up here as a hang.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int i = 0; i < 20000; ++i) {
+    pool.run([&](int t) { sum.fetch_add(static_cast<std::uint64_t>(t) + 1); });
+  }
+  EXPECT_EQ(sum.load(), 20000ull * (1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPool, ParkPathStress) {
+  // spin_iters = 0 removes the spin window entirely — every worker parks on
+  // the condvar between dispatches and every join parks on the caller side.
+  ThreadPoolOptions opt;
+  opt.num_threads = 4;
+  opt.spin_iters = 0;
+  ThreadPool pool(opt);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.run([&](int) { hits.fetch_add(1); });
+  }
+  EXPECT_EQ(hits.load(), 2000 * 4);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run([](int t) {
+        if (t == 3) throw std::runtime_error("worker 3 boom");
+      }),
+      std::runtime_error);
+  // The pool must survive the throw and keep dispatching.
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.run([&](int t) {
+    EXPECT_EQ(t, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PinnedSmoke) {
+  // Pinning is best-effort: pinned() may come back false in restricted
+  // sandboxes, but requesting it must never break dispatch.
+  ThreadPoolOptions opt;
+  opt.num_threads = 2;
+  opt.pin_threads = true;
+  ThreadPool pool(opt);
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(Affinity, AvailableCpusPositive) {
+  EXPECT_GE(available_cpus(), 1);
 }
 
 }  // namespace
