@@ -227,6 +227,39 @@ Table thread_scaling_table(bool quick) {
   return table;
 }
 
+Table metrics_overhead_table() {
+  Table table({"workload", "metrics", "N", "window_ticks", "node_steps",
+               "steady_allocs", "wall_ms", "ticks_per_s"});
+  table.set_caption(
+      "E10: dense flood with the obs::EngineMetrics hook detached vs "
+      "attached (model columns identical by construction; steady_allocs "
+      "stays 0 with metrics on — recording never allocates)");
+
+  const PortGraph g = de_bruijn(15);
+  const std::string label = "flood-debruijn-" + std::to_string(g.num_nodes());
+  obs::Registry registry;
+  const obs::EngineMetrics hook = obs::EngineMetrics::create(registry);
+  for (const bool with_metrics : {false, true}) {
+    EngineOptions opt = bench_engine_options(bench_threads());
+    if (with_metrics) opt.metrics = &hook;
+    FloodEngine engine(g, 0, {}, opt);
+    const WindowSample s = time_window(engine, /*warmup=*/64, /*window=*/64);
+    const double secs = s.wall_ms / 1e3;
+    const double ticks_per_s =
+        secs > 0 ? static_cast<double>(s.window_ticks) / secs : 0.0;
+    table.row()
+        .cell(label)
+        .cell(with_metrics ? "on" : "off")
+        .cell(static_cast<std::uint64_t>(g.num_nodes()))
+        .cell(static_cast<std::uint64_t>(s.window_ticks))
+        .cell(s.node_steps)
+        .cell(s.steady_allocs)
+        .cell(s.wall_ms, 3)
+        .cell(ticks_per_s, 1);
+  }
+  return table;
+}
+
 Table calibration_table() {
   Table table({"workload", "threads", "grain", "default", "wall_ms",
                "ns_per_node_step"});
@@ -272,15 +305,18 @@ int main() {
 
   const Table walltime = walltime_table(quick);
   const Table scaling = thread_scaling_table(quick);
+  const Table overhead = metrics_overhead_table();
   const Table calibration = calibration_table();
 
   walltime.print(std::cout);
   scaling.print(std::cout);
+  overhead.print(std::cout);
   calibration.print(std::cout);
 
   dtop::bench::BenchJson json("E10");
   json.add("walltime", walltime);
   json.add("thread_scaling", scaling);
+  json.add("metrics_overhead", overhead);
   json.add("calibration", calibration);
   json.write(std::cout);
   return 0;

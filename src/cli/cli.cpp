@@ -387,6 +387,11 @@ std::string usage_text() {
       "                 [--instances K] [--mix determine=8,verify=1,sweep=1]\n"
       "                 [--seed S] [--replicas R] [--out FILE]\n"
       "                 [--bench-json DIR] [--quiet]\n"
+      "  dtopctl metrics (--endpoint EP | --cluster EPS)\n"
+      "                 [--format table|json|prom] [--delta] [--per-shard]\n"
+      "                 [--out FILE]\n"
+      "  dtopctl top    (--endpoint EP | --cluster EPS) [--interval S]\n"
+      "                 [--iterations N] [--per-shard] [--no-clear]\n"
       "  dtopctl help\n"
       "\n"
       "Endpoints (EP): a Unix socket path, or HOST:PORT for TCP.\n"
@@ -425,6 +430,9 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
       return cluster_command(parse_cluster_args(rest), out, err);
     if (cmd == "loadgen")
       return loadgen_command(parse_loadgen_args(rest), out, err);
+    if (cmd == "metrics")
+      return metrics_command(parse_metrics_args(rest), out, err);
+    if (cmd == "top") return top_command(parse_top_args(rest), out, err);
     throw UsageError("unknown subcommand '" + cmd + "'");
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n\n" << usage_text();

@@ -24,6 +24,11 @@
 //   loadgen drive open- or closed-loop determine/verify/sweep traffic with
 //           Zipf-distributed topology instances against a live daemon or
 //           cluster; report throughput and p50/p95/p99 latency.
+//   metrics one-shot telemetry scrape of a daemon or cluster (the `metrics`
+//           protocol op): table, raw line-JSON, or Prometheus text.
+//   top     refreshing terminal view of a live daemon or cluster — delta
+//           scrapes rendered as throughput, per-op latency quantiles,
+//           cache hit rate, engine tick phases, and per-shard health.
 //
 // The subcommand implementations take explicit option structs and write to
 // caller-supplied streams so the test suite can drive them in-process; the
@@ -199,6 +204,24 @@ struct LoadgenOptions {
   bool quiet = false;          // suppress progress lines on stderr
 };
 
+struct MetricsOptions {
+  std::string endpoint;   // --endpoint EP (exactly one of
+  std::string cluster;    // --cluster EP,EP,...  the two targets)
+  std::string format = "table";  // table | json | prom
+  bool delta = false;     // window since the target's previous delta scrape
+  bool per_shard = false; // cluster: append the per-endpoint breakdown
+  std::string out;        // report destination (empty or "-" = stdout)
+};
+
+struct TopOptions {
+  std::string endpoint;   // --endpoint EP (exactly one of
+  std::string cluster;    // --cluster EP,EP,...  the two targets)
+  double interval = 2.0;  // seconds between delta scrapes
+  std::uint64_t iterations = 0;  // frames to render; 0 = until interrupted
+  bool per_shard = false; // cluster: include the per-shard health table
+  bool no_clear = false;  // append frames instead of redrawing the screen
+};
+
 // Parsers, exposed for the test suite. `args` excludes the subcommand name.
 // All throw UsageError on unknown flags, missing values, or bad numbers.
 RunOptions parse_run_args(const std::vector<std::string>& args);
@@ -211,6 +234,8 @@ ServeOptions parse_serve_args(const std::vector<std::string>& args);
 ClientOptions parse_client_args(const std::vector<std::string>& args);
 ClusterOptions parse_cluster_args(const std::vector<std::string>& args);
 LoadgenOptions parse_loadgen_args(const std::vector<std::string>& args);
+MetricsOptions parse_metrics_args(const std::vector<std::string>& args);
+TopOptions parse_top_args(const std::vector<std::string>& args);
 
 // The shard endpoints a ClusterOptions resolves to: DIR/shard-<i>.sock, or
 // 127.0.0.1:<tcp_base+i> when --tcp-base is set.
@@ -244,6 +269,9 @@ int cluster_command(const ClusterOptions& opt, std::ostream& out,
                     std::ostream& err);
 int loadgen_command(const LoadgenOptions& opt, std::ostream& out,
                     std::ostream& err);
+int metrics_command(const MetricsOptions& opt, std::ostream& out,
+                    std::ostream& err);
+int top_command(const TopOptions& opt, std::ostream& out, std::ostream& err);
 
 // Full driver: dispatches argv[1] to a subcommand, maps UsageError to exit
 // code 2 (usage printed to `err`) and dtop::Error to exit code 1.

@@ -9,6 +9,7 @@
 //                  divergent event and its tick.
 //   trace replay   re-execute the run a trace describes and hard-fail on
 //                  the first divergence from the recording.
+#include <algorithm>
 #include <map>
 
 #include "cli/cli.hpp"
@@ -16,12 +17,79 @@
 #include "cli/flags.hpp"
 #include "core/gtd.hpp"
 #include "runner/scenario.hpp"
+#include "support/table.hpp"
 #include "trace/span_collector.hpp"
 #include "trace/trace_diff.hpp"
 #include "trace/trace_io.hpp"
 
 namespace dtop::cli {
 namespace {
+
+// The per-span summary `trace inspect` prints for a --spans recording.
+// Aggregates cover only closed spans; a span still in flight when the
+// stream ended (violation or budget-cut trace) is listed as "open" and
+// kept out of the duration statistics.
+void print_span_tables(const trace::SpanCollector& spans, bool summary_only,
+                       std::ostream& out) {
+  const std::vector<trace::SpanCollector::Span>* lanes[] = {&spans.rca(),
+                                                            &spans.bca()};
+  const char* lane_names[] = {"RCA", "BCA"};
+  if (spans.rca().empty() && spans.bca().empty() &&
+      spans.erasures().empty()) {
+    return;  // not a --spans recording: nothing to summarize
+  }
+
+  Table agg({"kind", "spans", "open", "min_ticks", "mean_ticks",
+             "max_ticks"});
+  agg.set_caption("span durations (closed spans only; " +
+                  std::to_string(spans.erasures().size()) + " erasures)");
+  for (int lane = 0; lane < 2; ++lane) {
+    std::uint64_t closed = 0, open = 0;
+    Tick min = 0, max = 0;
+    std::uint64_t total = 0;
+    for (const auto& s : *lanes[lane]) {
+      if (!s.closed) {
+        ++open;
+        continue;
+      }
+      const Tick d = s.duration();
+      min = closed == 0 ? d : std::min(min, d);
+      max = std::max(max, d);
+      total += static_cast<std::uint64_t>(d);
+      ++closed;
+    }
+    auto r = agg.row();
+    r.cell(lane_names[lane]).cell(closed).cell(open);
+    if (closed > 0) {
+      r.cell(static_cast<std::uint64_t>(min))
+          .cell(static_cast<double>(total) / static_cast<double>(closed), 1)
+          .cell(static_cast<std::uint64_t>(max));
+    } else {
+      r.cell("-").cell("-").cell("-");
+    }
+  }
+  agg.print(out);
+
+  if (summary_only) return;
+  Table t({"kind", "node", "start", "end", "ticks", "note"});
+  t.set_caption("per-span listing");
+  for (int lane = 0; lane < 2; ++lane) {
+    for (const auto& s : *lanes[lane]) {
+      auto r = t.row();
+      r.cell(lane_names[lane])
+          .cell(static_cast<std::uint64_t>(s.node))
+          .cell(static_cast<std::uint64_t>(s.start));
+      if (s.closed) {
+        r.cell(static_cast<std::uint64_t>(s.end))
+            .cell(static_cast<std::uint64_t>(s.duration()));
+      } else {
+        r.cell("-").cell("-");
+      }
+      r.cell(!s.closed ? "open" : (s.forward ? "forward" : ""));
+    }
+  }
+  t.print(out);
+}
 
 trace::RecordedTrace load_trace(const std::string& path) {
   return with_input(path,
@@ -135,10 +203,7 @@ int inspect_command(const TraceOptions& opt, std::ostream& out,
   // the inconsistency instead of dying on it.
   try {
     const trace::SpanCollector spans = trace::collect_spans(t.events);
-    if (!spans.rca().empty() || !spans.bca().empty()) {
-      out << spans.rca().size() << " RCA spans, " << spans.bca().size()
-          << " BCA spans, " << spans.erasures().size() << " erasures\n";
-    }
+    print_span_tables(spans, opt.summary, out);
   } catch (const Error& e) {
     out << "Span stream inconsistent (protocol serialization violated): "
         << e.what() << "\n";

@@ -48,6 +48,8 @@ GtdResult run_gtd(const PortGraph& g, NodeId root, const GtdOptions& opt) {
   eopt.arena = opt.arena;
   eopt.pin_threads = opt.pin_threads;
   eopt.parallel_grain = opt.parallel_grain;
+  eopt.metrics = opt.metrics;
+  eopt.metrics_shard = opt.metrics_shard;
   GtdEngine engine(g, root, cfg, eopt);
   if (opt.trace) {
     opt.trace->begin(g, root, opt.protocol);

@@ -60,6 +60,13 @@ struct GtdOptions {
   // events, pass the same recorder as `observer` (single-threaded only; the
   // trace then becomes thread-count specific).
   trace::TraceRecorder* trace = nullptr;
+
+  // Observability hook, forwarded to EngineOptions::metrics. Strictly
+  // passive (see obs/engine_metrics.hpp): results, transcripts, and traces
+  // are byte-identical with or without it. `metrics_shard` is the registry
+  // shard recordings land under — pass the executing worker's index.
+  const obs::EngineMetrics* metrics = nullptr;
+  int metrics_shard = 0;
 };
 
 struct GtdResult {

@@ -1,0 +1,91 @@
+// The engine's metrics hook (EngineOptions::metrics): a bundle of registry
+// handles the engine records tick-phase timings into when attached.
+//
+// Strictly passive: the hook owns no state of its own, never influences
+// control flow, and every record lands in sharded relaxed atomics — so an
+// engine with the hook attached produces byte-identical traces, sweeps,
+// and transcripts to one without it, at any thread count (pinned by
+// tests/test_metrics.cpp and the E10 metrics-on rows). The engine pays a
+// handful of steady_clock reads per tick and nothing else; recording
+// allocates nothing, so EngineStats::allocs stays 0 with metrics on.
+//
+// `shard` is the slot the *stepping thread* records under — one engine per
+// dtopd worker shares one hook, each under its own shard, so concurrent
+// request engines never write the same cache line.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/registry.hpp"
+
+namespace dtop::obs {
+
+struct EngineMetrics {
+  // Counters.
+  Counter* ticks = nullptr;          // engine_ticks_total
+  Counter* forked_ticks = nullptr;   // ticks that crossed the pool barrier
+  Counter* node_steps = nullptr;     // machine step() calls
+  Counter* sweep_words = nullptr;    // l0 bitmap words visited by sweeps
+  Counter* worker_parks = nullptr;   // pool workers that hit the park path
+  Counter* caller_parks = nullptr;   // joins that parked instead of spinning
+  // Tick-phase durations, nanoseconds.
+  ShardedHistogram* sweep_ns = nullptr;   // active-set build (bitmap sweep)
+  ShardedHistogram* step_ns = nullptr;    // dispatch + node steps + barrier
+  ShardedHistogram* finish_ns = nullptr;  // merge, trace emission, clear
+  // Active nodes per tick.
+  ShardedHistogram* active_nodes = nullptr;
+  // Per-forked-tick worker imbalance: (slowest - fastest) worker chunk
+  // time as a percentage of the slowest. 0 = perfectly balanced.
+  ShardedHistogram* imbalance_pct = nullptr;
+
+  // Registers the full instrument set under `prefix` (default "engine_").
+  static EngineMetrics create(Registry& r,
+                              const std::string& prefix = "engine_") {
+    EngineMetrics m;
+    m.ticks = r.counter(prefix + "ticks_total");
+    m.forked_ticks = r.counter(prefix + "forked_ticks_total");
+    m.node_steps = r.counter(prefix + "node_steps_total");
+    m.sweep_words = r.counter(prefix + "sweep_words_total");
+    m.worker_parks = r.counter(prefix + "pool_worker_parks_total");
+    m.caller_parks = r.counter(prefix + "pool_caller_parks_total");
+    m.sweep_ns = r.histogram(prefix + "tick_sweep_ns");
+    m.step_ns = r.histogram(prefix + "tick_step_ns");
+    m.finish_ns = r.histogram(prefix + "tick_finish_ns");
+    m.active_nodes = r.histogram(prefix + "active_nodes");
+    m.imbalance_pct = r.histogram(prefix + "worker_imbalance_pct");
+    return m;
+  }
+
+  void on_tick(std::uint64_t sweep, std::uint64_t step, std::uint64_t finish,
+               std::uint64_t active, std::uint64_t words, bool forked,
+               int shard) const {
+    ticks->inc(shard);
+    if (forked) forked_ticks->inc(shard);
+    node_steps->add(active, shard);
+    sweep_words->add(words, shard);
+    sweep_ns->record(sweep, shard);
+    step_ns->record(step, shard);
+    finish_ns->record(finish, shard);
+    active_nodes->record(active, shard);
+  }
+
+  // `chunk_ns` holds each pool worker's step-loop duration for one forked
+  // tick (nthreads entries).
+  void on_fork(const std::uint64_t* chunk_ns, int nthreads, int shard) const {
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (int t = 0; t < nthreads; ++t) {
+      lo = chunk_ns[t] < lo ? chunk_ns[t] : lo;
+      hi = chunk_ns[t] > hi ? chunk_ns[t] : hi;
+    }
+    imbalance_pct->record(hi ? (hi - lo) * 100 / hi : 0, shard);
+  }
+
+  // Pool park deltas, published by SyncEngine::run at the end of each run.
+  void on_pool(std::uint64_t worker_park_delta,
+               std::uint64_t caller_park_delta, int shard) const {
+    if (worker_park_delta) worker_parks->add(worker_park_delta, shard);
+    if (caller_park_delta) caller_parks->add(caller_park_delta, shard);
+  }
+};
+
+}  // namespace dtop::obs

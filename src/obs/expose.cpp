@@ -1,0 +1,102 @@
+#include "obs/expose.hpp"
+
+#include <cstdio>
+
+namespace dtop::obs {
+namespace {
+
+// Minimal JSON string escaping. Metric names and histogram encodings are
+// ASCII identifiers by construction; this keeps the emitter safe anyway.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// Shortest-faithful double rendering (Prometheus accepts any float text;
+// %.17g round-trips, %g is plenty for bucket bounds and scaled sums).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string counters_json(const Snapshot& s) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    if (i) out += ", ";
+    out += escaped(s.counters[i].name) + ": " +
+           std::to_string(s.counters[i].value);
+  }
+  return out + "}";
+}
+
+std::string gauges_json(const Snapshot& s) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    if (i) out += ", ";
+    out += escaped(s.gauges[i].name) + ": " +
+           std::to_string(s.gauges[i].value);
+  }
+  return out + "}";
+}
+
+std::string histograms_json(const Snapshot& s) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    if (i) out += ", ";
+    out += escaped(s.histograms[i].name) + ": " +
+           escaped(s.histograms[i].hist.encode());
+  }
+  return out + "}";
+}
+
+std::string to_prometheus(const Snapshot& s, double histogram_scale) {
+  std::string out;
+  for (const Snapshot::CounterValue& c : s.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const Snapshot::GaugeValue& g : s.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + std::to_string(g.value) + "\n";
+  }
+  const double scale = histogram_scale > 0 ? histogram_scale : 1.0;
+  for (const Snapshot::HistogramValue& h : s.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h.hist.bucket(i);
+      if (c == 0) continue;
+      cum += c;
+      const double le =
+          static_cast<double>(Histogram::bucket_floor(i) +
+                              Histogram::bucket_width(i) - 1) /
+          scale;
+      out += h.name + "_bucket{le=\"" + num(le) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(h.hist.count()) +
+           "\n";
+    out += h.name + "_sum " +
+           num(static_cast<double>(h.hist.sum()) / scale) + "\n";
+    out += h.name + "_count " + std::to_string(h.hist.count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dtop::obs

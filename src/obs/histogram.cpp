@@ -1,0 +1,140 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace dtop::obs {
+
+void Histogram::record(std::uint64_t v) { record_n(v, 1); }
+
+void Histogram::record_n(std::uint64_t v, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[bucket_index(v)] += n;
+  count_ += n;
+  sum_ += v * n;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::subtract(const Histogram& prev) {
+  DTOP_REQUIRE(count_ >= prev.count_ && sum_ >= prev.sum_,
+               "Histogram::subtract: prev is not an earlier snapshot");
+  count_ -= prev.count_;
+  sum_ -= prev.sum_;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    DTOP_REQUIRE(buckets_[i] >= prev.buckets_[i],
+                 "Histogram::subtract: bucket went backwards");
+    buckets_[i] -= prev.buckets_[i];
+    if (buckets_[i]) {
+      // Extrema cannot be subtracted; re-derive them from bucket bounds
+      // (exact for the unit-width buckets, bucket-resolution otherwise).
+      min_ = std::min(min_, bucket_floor(i));
+      max_ = std::max(max_, bucket_floor(i) + bucket_width(i) - 1);
+    }
+  }
+}
+
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets_[i];
+    if (static_cast<double>(cum) > rank) {
+      // Interpolate linearly across the bucket's value span, clamped to
+      // the exactly-tracked extrema so tail quantiles never exceed max().
+      const double frac =
+          (rank - before) / static_cast<double>(buckets_[i]);
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double hi = lo + static_cast<double>(bucket_width(i) - 1);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, static_cast<double>(min()),
+                        static_cast<double>(max()));
+    }
+  }
+  return static_cast<double>(max());
+}
+
+std::string Histogram::encode() const {
+  std::string out = std::to_string(count_) + "|" + std::to_string(sum_) + "|" +
+                    std::to_string(min()) + "|" + std::to_string(max());
+  char sep = '|';
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    out += sep;
+    sep = ',';
+    out += std::to_string(i) + ":" + std::to_string(buckets_[i]);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& text, std::size_t* pos,
+                        char terminator) {
+  std::uint64_t v = 0;
+  bool any = false;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(text[*pos] - '0');
+    ++*pos;
+    any = true;
+  }
+  DTOP_REQUIRE(any, "Histogram::decode: expected a number");
+  if (terminator != '\0') {
+    DTOP_REQUIRE(*pos < text.size() && text[*pos] == terminator,
+                 "Histogram::decode: malformed encoding");
+    ++*pos;
+  }
+  return v;
+}
+
+}  // namespace
+
+Histogram Histogram::decode(const std::string& text) {
+  Histogram h;
+  std::size_t pos = 0;
+  h.count_ = parse_u64(text, &pos, '|');
+  h.sum_ = parse_u64(text, &pos, '|');
+  const std::uint64_t lo = parse_u64(text, &pos, '|');
+  const std::uint64_t hi = parse_u64(text, &pos, '\0');
+  if (h.count_ > 0) {
+    h.min_ = lo;
+    h.max_ = hi;
+  }
+  std::uint64_t total = 0;
+  while (pos < text.size()) {
+    ++pos;  // '|' before the first pair, ',' between pairs
+    const std::uint64_t i = parse_u64(text, &pos, ':');
+    DTOP_REQUIRE(i < kBuckets, "Histogram::decode: bucket out of range");
+    h.buckets_[i] = parse_u64(text, &pos, '\0');
+    total += h.buckets_[i];
+  }
+  DTOP_REQUIRE(total == h.count_,
+               "Histogram::decode: bucket counts do not sum to count");
+  return h;
+}
+
+bool Histogram::operator==(const Histogram& other) const {
+  return count_ == other.count_ && sum_ == other.sum_ &&
+         min() == other.min() && max() == other.max() &&
+         std::memcmp(buckets_, other.buckets_, sizeof(buckets_)) == 0;
+}
+
+}  // namespace dtop::obs

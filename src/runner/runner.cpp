@@ -83,7 +83,8 @@ std::size_t CampaignResult::failed() const {
 }
 
 JobResult run_job(const JobSpec& job, const std::string& trace_dir,
-                  Arena* arena) {
+                  Arena* arena, const obs::EngineMetrics* metrics,
+                  int metrics_shard) {
   JobResult r;
   r.spec = job;
   const auto t0 = std::chrono::steady_clock::now();
@@ -104,6 +105,8 @@ JobResult run_job(const JobSpec& job, const std::string& trace_dir,
     GtdOptions opt = job_options(job, g);
     if (arena) arena->reset();  // previous job's engine state is dead
     opt.arena = arena;
+    opt.metrics = metrics;
+    opt.metrics_shard = metrics_shard;
     const GtdResult res = run_gtd(g, job.root, opt);
     const bool injected =
         !job.scenario.is_injection() || res.injections_applied > 0;
@@ -182,8 +185,10 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       // Never throws: failures land in the result.
-      out.jobs[i] = opt.execute ? opt.execute(jobs[i], opt.trace_dir)
-                                : run_job(jobs[i], opt.trace_dir, arena);
+      out.jobs[i] = opt.execute
+                        ? opt.execute(jobs[i], opt.trace_dir)
+                        : run_job(jobs[i], opt.trace_dir, arena, opt.metrics,
+                                  opt.metrics_shard_base + t);
       if (opt.progress) {
         std::lock_guard<std::mutex> lock(mu);
         opt.progress(out.jobs[i], ++done, jobs.size());

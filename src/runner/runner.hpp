@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/engine_metrics.hpp"
 #include "runner/campaign.hpp"
 #include "support/arena.hpp"
 
@@ -88,6 +89,13 @@ struct RunnerOptions {
   // the returned result. The trace_dir above is passed through.
   std::function<JobResult(const JobSpec&, const std::string& trace_dir)>
       execute;
+  // Observability hook forwarded into every job's engine (strictly passive;
+  // see obs/engine_metrics.hpp — campaign output is byte-identical with or
+  // without it). Worker t records under shard `metrics_shard_base + t`, so
+  // a service worker hosting a campaign passes its own index as the base
+  // and concurrent campaigns never share a shard cache line.
+  const obs::EngineMetrics* metrics = nullptr;
+  int metrics_shard_base = 0;
 };
 
 // Executes one job. Never throws: every failure mode lands in the result.
@@ -97,7 +105,9 @@ struct RunnerOptions {
 // the heap only until each worker reaches its high-water footprint);
 // nullptr = per-job engine-owned arena.
 JobResult run_job(const JobSpec& job, const std::string& trace_dir = {},
-                  Arena* arena = nullptr);
+                  Arena* arena = nullptr,
+                  const obs::EngineMetrics* metrics = nullptr,
+                  int metrics_shard = 0);
 
 // Expands and executes the whole campaign.
 CampaignResult run_campaign(const CampaignSpec& spec,

@@ -233,22 +233,33 @@ CacheStore::CacheStore(const std::string& path, std::ostream& warn)
   }
 }
 
+CacheStoreStats CacheStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 void CacheStore::append(const CacheKey& key, const CachedMap& value) {
   std::lock_guard<std::mutex> lock(mu_);
   if (disabled_ || fd_ < 0) return;
-  if (!write_all(fd_, encode_cache_record(key, value))) {
-    // A full disk or revoked fd downs persistence, not the daemon; the
-    // in-memory cache keeps serving. (No stream to warn on here — append
-    // runs on request workers — but disabled() is visible to the owner.)
-    ::close(fd_);
-    fd_ = -1;
-    disabled_ = true;
+  const std::string record = encode_cache_record(key, value);
+  if (write_all(fd_, record)) {
+    ++stats_.appended_records;
+    stats_.appended_bytes += record.size();
+    return;
   }
+  // A full disk or revoked fd downs persistence, not the daemon; the
+  // in-memory cache keeps serving. (No stream to warn on here — append
+  // runs on request workers — but disabled() is visible to the owner.)
+  ::close(fd_);
+  fd_ = -1;
+  disabled_ = true;
 }
 
 std::size_t CacheStore::load(
     const std::string& path,
-    const std::function<void(CacheKey, CachedMap)>& sink, std::ostream& warn) {
+    const std::function<void(CacheKey, CachedMap)>& sink, std::ostream& warn,
+    std::uint64_t* bytes_out) {
+  if (bytes_out) *bytes_out = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return 0;  // no store yet: a cold start, not an error
   std::string bytes((std::istreambuf_iterator<char>(in)),
@@ -299,6 +310,7 @@ std::size_t CacheStore::load(
     }
     sink(std::move(key), std::move(value));
     ++count;
+    if (bytes_out) *bytes_out += 12 + len;
     pos += 12 + len;
   }
   return count;

@@ -36,6 +36,13 @@ inline constexpr char kCacheStoreMagic[8] = {'d', 't', 'o', 'p',
                                              'c', 's', 't', '\n'};
 inline constexpr std::uint32_t kCacheStoreVersion = 1;
 
+// Cumulative append-side accounting, sampled by the service's metrics
+// scrape (store_append_records_total / store_append_bytes_total).
+struct CacheStoreStats {
+  std::uint64_t appended_records = 0;
+  std::uint64_t appended_bytes = 0;
+};
+
 class CacheStore {
  public:
   // Opens `path` for appending, writing a fresh header when the file is
@@ -54,20 +61,27 @@ class CacheStore {
   const std::string& path() const { return path_; }
   bool disabled() const { return disabled_; }
 
+  // Records and bytes appended by this store instance (framing included).
+  CacheStoreStats stats() const;
+
   // Replays every intact record into `sink`, in file order. Returns the
   // record count. Malformed content — truncated tail, checksum mismatch,
   // foreign magic or version — is reported on `warn` and cleanly ends the
   // replay; only an unreadable *path* distinguishes "no store yet" (returns
   // 0 silently when the file does not exist).
+  // `bytes_out`, when non-null, receives the payload+framing bytes of the
+  // replayed records (the warm-start volume the metrics scrape reports).
   static std::size_t load(const std::string& path,
                           const std::function<void(CacheKey, CachedMap)>& sink,
-                          std::ostream& warn);
+                          std::ostream& warn,
+                          std::uint64_t* bytes_out = nullptr);
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::string path_;
   int fd_ = -1;
   bool disabled_ = false;
+  CacheStoreStats stats_;
 };
 
 // Serialization of one record payload, exposed for the robustness tests

@@ -17,6 +17,7 @@
 #include "graph/families.hpp"
 #include "graph/port_graph.hpp"
 #include "service/endpoint.hpp"
+#include "service/metrics_wire.hpp"
 #include "service/service.hpp"
 
 namespace dtop::service {
@@ -29,40 +30,6 @@ std::uint64_t fnv1a(const std::string& bytes) {
     h *= 0x100000001b3ull;
   }
   return h;
-}
-
-// Returns the balanced {...} starting at `open` (which must index a '{'),
-// skipping braces inside string literals. Used to lift the flat inner
-// objects (stats counters, sweep rows) out of a response line, since the
-// protocol parser deliberately rejects nested containers.
-std::string balanced_object(const std::string& s, std::size_t open) {
-  DTOP_REQUIRE(open < s.size() && s[open] == '{',
-               "malformed response: expected '{'");
-  int depth = 0;
-  bool in_string = false;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    const char c = s[i];
-    if (in_string) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      continue;
-    }
-    if (c == '"') in_string = true;
-    else if (c == '{') ++depth;
-    else if (c == '}' && --depth == 0) return s.substr(open, i - open + 1);
-  }
-  throw Error("malformed response: unbalanced object");
-}
-
-// The flat object value of `key` inside a response line ("" when absent).
-std::string extract_object(const std::string& line, const std::string& key) {
-  const std::string marker = "\"" + key + "\": {";
-  const std::size_t at = line.find(marker);
-  if (at == std::string::npos) return "";
-  return balanced_object(line, at + marker.size() - 1);
 }
 
 runner::JobStatus status_from_string(const std::string& s) {
@@ -422,6 +389,7 @@ std::string Dispatcher::call(const std::string& line) {
       // Non-string op: routed below, rejected by the shard.
     }
     if (op == "stats") return fan_out_stats(req);
+    if (op == "metrics") return fan_out_metrics(req);
     if (op == "shutdown") return fan_out_shutdown(req);
     return call_keyed(request_key(req, line), line);
   } catch (const JsonError&) {
@@ -465,6 +433,7 @@ std::vector<std::optional<std::string>> Dispatcher::broadcast(
 
 std::string Dispatcher::fan_out_stats(const JsonObject& req) {
   fan_outs_.fetch_add(1, std::memory_order_relaxed);
+  const bool per_shard = req.get_bool("per_shard", false);
   // The schema is shared with Service::handle_stats (service.hpp): a
   // counter added there shows up here by construction, keeping the
   // aggregate exactly the single-daemon shape.
@@ -472,9 +441,17 @@ std::string Dispatcher::fan_out_stats(const JsonObject& req) {
   std::uint64_t served_sums[std::size(kStatsServedFields)] = {};
   std::size_t reachable = 0;
   std::string last_error = "no shard configured";
-  for (const std::optional<std::string>& resp :
-       broadcast("{\"op\": \"stats\"}", &last_error)) {
-    if (!resp) continue;  // down shard: its counters are unreachable
+  std::string shards = "[";
+  const std::vector<std::optional<std::string>> responses =
+      broadcast("{\"op\": \"stats\"}", &last_error);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const std::optional<std::string>& resp = responses[i];
+    JsonWriter sw;
+    sw.field("endpoint", endpoints_[i]->path());
+    if (!resp) {  // down shard: its counters are unreachable
+      shards += (i ? ", " : "") + sw.field("ok", false).str();
+      continue;
+    }
     ++reachable;
     const JsonObject cache = parse_json_object(extract_object(*resp, "cache"));
     const JsonObject served =
@@ -485,7 +462,12 @@ std::string Dispatcher::fan_out_stats(const JsonObject& req) {
     for (std::size_t f = 0; f < std::size(kStatsServedFields); ++f) {
       served_sums[f] += served.get_u64(kStatsServedFields[f], 0);
     }
+    sw.field("ok", true)
+        .field_raw("cache", extract_object(*resp, "cache"))
+        .field_raw("served", extract_object(*resp, "served"));
+    shards += (i ? ", " : "") + sw.str();
   }
+  shards += "]";
   if (reachable == 0) {
     throw Error("no cluster shard reachable for stats: " + last_error);
   }
@@ -500,11 +482,62 @@ std::string Dispatcher::fan_out_stats(const JsonObject& req) {
   const std::string id = req.raw_token("id");
   JsonWriter w;
   if (!id.empty()) w.field_raw("id", id);
-  return w.field("op", "stats")
+  w.field("op", "stats")
       .field("ok", true)
       .field_raw("cache", cache_w.str())
-      .field_raw("served", served_w.str())
-      .str();
+      .field_raw("served", served_w.str());
+  if (per_shard) w.field_raw("shards", shards);
+  return w.str();
+}
+
+std::string Dispatcher::fan_out_metrics(const JsonObject& req) {
+  fan_outs_.fetch_add(1, std::memory_order_relaxed);
+  const bool per_shard = req.get_bool("per_shard", false);
+  const bool delta = req.get_bool("delta", false);
+  // Forward only the fields the shards act on: the id is re-attached to
+  // the aggregate, and per_shard is satisfied here from the raw responses.
+  JsonWriter fw;
+  fw.field("op", "metrics");
+  if (delta) fw.field("delta", true);
+  const std::string forward = fw.str();
+
+  // Aggregation = the same snapshot algebra a single registry uses:
+  // counters and gauges sum, histograms merge bucket-wise. Per-shard delta
+  // baselines sum too, so a delta aggregate is exactly the cluster-wide
+  // window since the previous delta scrape.
+  obs::Snapshot total;
+  std::size_t reachable = 0;
+  std::string last_error = "no shard configured";
+  std::string shards = "[";
+  const std::vector<std::optional<std::string>> responses =
+      broadcast(forward, &last_error);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const std::optional<std::string>& resp = responses[i];
+    JsonWriter sw;
+    sw.field("endpoint", endpoints_[i]->path());
+    if (!resp) {
+      shards += (i ? ", " : "") + sw.field("ok", false).str();
+      continue;
+    }
+    ++reachable;
+    total.merge(parse_snapshot_response(*resp));
+    sw.field("ok", true)
+        .field_raw("counters", extract_object(*resp, "counters"))
+        .field_raw("gauges", extract_object(*resp, "gauges"))
+        .field_raw("histograms", extract_object(*resp, "histograms"));
+    shards += (i ? ", " : "") + sw.str();
+  }
+  shards += "]";
+  if (reachable == 0) {
+    throw Error("no cluster shard reachable for metrics: " + last_error);
+  }
+  const std::string id = req.raw_token("id");
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  w.field("op", "metrics").field("ok", true).field("delta", delta);
+  write_snapshot_fields(w, total);
+  if (per_shard) w.field_raw("shards", shards);
+  return w.str();
 }
 
 std::string Dispatcher::fan_out_shutdown(const JsonObject& req) {

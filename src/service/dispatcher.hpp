@@ -24,10 +24,12 @@
 // transport), so a wedged-but-alive shard blocks its callers exactly as a
 // wedged single daemon would.
 //
-// Fan-out ops: `stats` is broadcast to every reachable shard and the
-// counters are summed into one response of exactly the single-daemon shape;
-// `shutdown` broadcasts the drain to every reachable shard. Everything else
-// routes by shard key. Responses therefore stay byte-identical to a single
+// Fan-out ops: `stats` and `metrics` are broadcast to every reachable
+// shard and aggregated into one response of exactly the single-daemon
+// shape (counters and gauges summed, histograms merged bucket-wise); a
+// `"per_shard": true` request flag appends a per-endpoint breakdown under
+// "shards". `shutdown` broadcasts the drain to every reachable shard.
+// Everything else routes by shard key. Responses therefore stay byte-identical to a single
 // local daemon at any shard count (the one caveat is counter-shaped: a
 // repeated topology re-routed by a failover recomputes on the survivor, so
 // its "cache" field can read "miss" where an unfailed cluster said "hit").
@@ -90,9 +92,9 @@ class Dispatcher {
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
 
-  // One request line -> one response line. `stats` and `shutdown` fan out;
-  // everything else routes by shard_key(line) with retry/failover. Throws
-  // Error when no shard is reachable.
+  // One request line -> one response line. `stats`, `metrics`, and
+  // `shutdown` fan out; everything else routes by shard_key(line) with
+  // retry/failover. Throws Error when no shard is reachable.
   std::string call(const std::string& line);
 
   // Routed send with an explicit key (the sweep backend routes each job by
@@ -125,6 +127,7 @@ class Dispatcher {
   };
 
   std::string fan_out_stats(const JsonObject& req);
+  std::string fan_out_metrics(const JsonObject& req);
   std::string fan_out_shutdown(const JsonObject& req);
   // shard_key's core on an already-parsed request (call() parses once).
   std::uint64_t request_key(const JsonObject& req,

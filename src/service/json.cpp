@@ -217,6 +217,13 @@ void JsonObject::set(std::string key, JsonValue v) {
   fields_[std::move(key)] = std::move(v);
 }
 
+std::vector<std::string> JsonObject::keys() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& [k, v] : fields_) out.push_back(k);
+  return out;
+}
+
 JsonObject parse_json_object(const std::string& line) {
   Cursor c(line);
   c.skip_ws();
@@ -247,6 +254,35 @@ std::string json_escape(const std::string& s) {
   // One escaping implementation for the whole repo: the campaign emitters
   // own it, and daemon responses must escape byte-identically to them.
   return runner::json_escape(s);
+}
+
+std::string balanced_object(const std::string& s, std::size_t open) {
+  DTOP_REQUIRE(open < s.size() && s[open] == '{',
+               "malformed response: expected '{'");
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return s.substr(open, i - open + 1);
+  }
+  throw Error("malformed response: unbalanced object");
+}
+
+std::string extract_object(const std::string& line, const std::string& key) {
+  const std::string marker = "\"" + key + "\": {";
+  const std::size_t at = line.find(marker);
+  if (at == std::string::npos) return "";
+  return balanced_object(line, at + marker.size() - 1);
 }
 
 void JsonWriter::key(const std::string& k) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -59,6 +60,11 @@ class JsonObject {
   void set(std::string key, JsonValue v);
   std::size_t size() const { return fields_.size(); }
 
+  // Every field name, in sorted (std::map) order. Used by the metrics wire
+  // layer to walk a counters/gauges/histograms object without knowing its
+  // schema up front.
+  std::vector<std::string> keys() const;
+
  private:
   std::map<std::string, JsonValue> fields_;
 };
@@ -68,6 +74,16 @@ class JsonObject {
 JsonObject parse_json_object(const std::string& line);
 
 std::string json_escape(const std::string& s);
+
+// Response-side helpers for the nested sub-objects daemons splice into a
+// line via JsonWriter::field_raw (which the flat request parser deliberately
+// rejects). `balanced_object` returns the balanced {...} starting at `open`
+// (which must index a '{'), skipping braces inside string literals;
+// `extract_object` returns the object value of `key` inside a response line,
+// or "" when the key is absent. Shared by the dispatcher's fan-out
+// aggregation and the metrics wire layer.
+std::string balanced_object(const std::string& s, std::size_t open);
+std::string extract_object(const std::string& line, const std::string& key);
 
 // Builds a single-line JSON object, fields in call order.
 class JsonWriter {

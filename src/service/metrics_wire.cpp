@@ -1,0 +1,43 @@
+#include "service/metrics_wire.hpp"
+
+#include "obs/expose.hpp"
+#include "obs/histogram.hpp"
+
+namespace dtop::service {
+
+void write_snapshot_fields(JsonWriter& w, const obs::Snapshot& s) {
+  w.field_raw("counters", obs::counters_json(s))
+      .field_raw("gauges", obs::gauges_json(s))
+      .field_raw("histograms", obs::histograms_json(s));
+}
+
+obs::Snapshot parse_snapshot_response(const std::string& line) {
+  obs::Snapshot s;
+  // JsonObject::keys() iterates sorted, and the Snapshot vectors append in
+  // arrival order — so the parsed snapshot is name-sorted like a registry
+  // snapshot, and re-rendering it is byte-stable.
+  const std::string counters = extract_object(line, "counters");
+  if (!counters.empty()) {
+    const JsonObject obj = parse_json_object(counters);
+    for (const std::string& k : obj.keys()) {
+      s.add_counter(k, obj.get_u64(k, 0));
+    }
+  }
+  const std::string gauges = extract_object(line, "gauges");
+  if (!gauges.empty()) {
+    const JsonObject obj = parse_json_object(gauges);
+    for (const std::string& k : obj.keys()) {
+      s.set_gauge(k, obj.get_i64(k, 0));
+    }
+  }
+  const std::string histograms = extract_object(line, "histograms");
+  if (!histograms.empty()) {
+    const JsonObject obj = parse_json_object(histograms);
+    for (const std::string& k : obj.keys()) {
+      s.merge_histogram(k, obs::Histogram::decode(obj.get_string(k)));
+    }
+  }
+  return s;
+}
+
+}  // namespace dtop::service

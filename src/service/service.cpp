@@ -4,6 +4,8 @@
 #include <fstream>
 #include <iostream>
 
+#include <chrono>
+
 #include "core/gtd.hpp"
 #include "core/map_io.hpp"
 #include "core/verify.hpp"
@@ -13,6 +15,7 @@
 #include "graph/graph_io.hpp"
 #include "runner/runner.hpp"
 #include "service/cache_store.hpp"
+#include "service/metrics_wire.hpp"
 #include "trace/recorder.hpp"
 #include "trace/trace_io.hpp"
 
@@ -113,12 +116,16 @@ namespace {
 // non-exact outcome so only verified results ever reach the cache.
 CachedMap execute_determine(const PortGraph& g, NodeId root,
                             const runner::EngineConfig& config, Tick max_ticks,
-                            const std::string& label, Arena* arena) {
+                            const std::string& label, Arena* arena,
+                            const obs::EngineMetrics* metrics,
+                            int metrics_shard) {
   GtdOptions gopt;
   gopt.protocol = config.protocol;
   gopt.max_ticks = max_ticks;
   if (arena) arena->reset();  // previous request's engine state is dead
   gopt.arena = arena;
+  gopt.metrics = metrics;
+  gopt.metrics_shard = metrics_shard;
   const GtdResult res = run_gtd(g, root, gopt);
   if (res.status != RunStatus::kTerminated) {
     throw DetermineError("budget", "tick budget exhausted after " +
@@ -201,11 +208,20 @@ Service::Service(const ServiceOptions& opt)
     warm_loaded_ = CacheStore::load(
         opt_.cache_store,
         [this](CacheKey key, CachedMap value) { cache_.put(key, value); },
-        warn);
+        warn, &warm_bytes_);
     store_ = std::make_unique<CacheStore>(opt_.cache_store, warn);
   }
   arenas_.reserve(static_cast<std::size_t>(opt.workers));
   for (int w = 0; w < opt.workers; ++w) arenas_.emplace_back();
+  // Register every instrument before the pump starts: handles are stable
+  // for the registry's lifetime, so workers record lock-free thereafter.
+  engine_metrics_ = obs::EngineMetrics::create(registry_);
+  requests_total_ = registry_.counter("service_requests_total");
+  rejected_ = registry_.counter("service_rejected_total");
+  for (std::size_t i = 0; i < kServedOpCount; ++i) {
+    op_latency_us_[i] = registry_.histogram(
+        std::string("service_") + kStatsServedFields[i] + "_latency_us");
+  }
   pump_ = std::thread([this] {
     pool_.run([this](int w) {
       while (auto job = queue_.pop()) {
@@ -265,54 +281,77 @@ std::string Service::call(const std::string& line) { return wait(submit(line)); 
 
 std::string Service::handle_line(const std::string& line,
                                  std::uint64_t ticket, int worker) {
+  // One line = one request: counted on entry so a sequential scrape always
+  // sees requests_total == sum of the per-op served counters + rejected
+  // (an invariant CI asserts against a live cluster). Latency is recorded
+  // into the matched op's histogram on every exit path, including handler
+  // failures — an error response took time too.
+  const auto t0 = std::chrono::steady_clock::now();
+  requests_total_->inc(worker);
   std::string op;
   std::string id;
+  int op_idx = -1;
+  std::string resp;
   try {
     const JsonObject req = parse_json_object(line);
     id = req.raw_token("id");
     op = req.require_string("op");
     if (op == "determine") {
+      op_idx = 0;
       served_.determine.fetch_add(1, std::memory_order_relaxed);
-      return handle_determine(req, id, ticket, worker);
-    }
-    if (op == "verify") {
+      resp = handle_determine(req, id, ticket, worker);
+    } else if (op == "verify") {
+      op_idx = 1;
       served_.verify.fetch_add(1, std::memory_order_relaxed);
-      return handle_verify(req, id);
-    }
-    if (op == "sweep") {
+      resp = handle_verify(req, id);
+    } else if (op == "sweep") {
+      op_idx = 2;
       served_.sweep.fetch_add(1, std::memory_order_relaxed);
-      return handle_sweep(req, id, ticket);
-    }
-    if (op == "cache_get") {
+      resp = handle_sweep(req, id, ticket, worker);
+    } else if (op == "cache_get") {
+      op_idx = 3;
       served_.cache_get.fetch_add(1, std::memory_order_relaxed);
-      return handle_cache_get(req, id);
-    }
-    if (op == "cache_put") {
+      resp = handle_cache_get(req, id);
+    } else if (op == "cache_put") {
+      op_idx = 4;
       served_.cache_put.fetch_add(1, std::memory_order_relaxed);
-      return handle_cache_put(req, id);
-    }
-    if (op == "stats") {
+      resp = handle_cache_put(req, id);
+    } else if (op == "stats") {
+      op_idx = 5;
       served_.stats.fetch_add(1, std::memory_order_relaxed);
-      return handle_stats(req, id);
-    }
-    if (op == "shutdown") {
+      resp = handle_stats(req, id);
+    } else if (op == "metrics") {
+      op_idx = 6;
+      served_.metrics.fetch_add(1, std::memory_order_relaxed);
+      resp = handle_metrics(req, id);
+    } else if (op == "shutdown") {
+      op_idx = 7;
       served_.shutdown.fetch_add(1, std::memory_order_relaxed);
       shutdown_.store(true, std::memory_order_release);
       JsonWriter w;
       if (!id.empty()) w.field_raw("id", id);
-      return w.field("op", "shutdown").field("ok", true).str();
+      resp = w.field("op", "shutdown").field("ok", true).str();
+    } else {
+      throw JsonError(
+          "unknown op \"" + op +
+          "\" (known: determine verify sweep cache_get cache_put stats "
+          "metrics shutdown)");
     }
-    throw JsonError(
-        "unknown op \"" + op +
-        "\" (known: determine verify sweep cache_get cache_put stats "
-        "shutdown)");
   } catch (const std::exception& e) {
+    if (op_idx < 0) rejected_->inc(worker);
     served_.errors.fetch_add(1, std::memory_order_relaxed);
     JsonWriter w;
     if (!id.empty()) w.field_raw("id", id);
     if (!op.empty()) w.field("op", op);
-    return w.field("ok", false).field("error", std::string(e.what())).str();
+    resp = w.field("ok", false).field("error", std::string(e.what())).str();
   }
+  if (op_idx >= 0) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    op_latency_us_[op_idx]->record(static_cast<std::uint64_t>(us), worker);
+  }
+  return resp;
 }
 
 std::string Service::handle_determine(const JsonObject& req,
@@ -342,7 +381,8 @@ std::string Service::handle_determine(const JsonObject& req,
     const CachedMap r = cache_.get_or_compute(
         key,
         [&] {
-          return execute_determine(g, root, config, max_ticks, label, arena);
+          return execute_determine(g, root, config, max_ticks, label, arena,
+                                   &engine_metrics_, worker);
         },
         &outcome, static_cast<std::uint64_t>(max_ticks));
     // Only the computing caller persists the entry (hits replayed it, and
@@ -406,7 +446,7 @@ std::string Service::handle_verify(const JsonObject& req,
 }
 
 std::string Service::handle_sweep(const JsonObject& req, const std::string& id,
-                                  std::uint64_t ticket) {
+                                  std::uint64_t ticket, int worker) {
   runner::CampaignSpec spec;
   if (req.has("families")) {
     spec.families = runner::parse_name_list(req.require_string("families"));
@@ -435,6 +475,10 @@ std::string Service::handle_sweep(const JsonObject& req, const std::string& id,
   // per request would oversubscribe without changing any result (campaign
   // output is thread-count invariant by construction).
   ropt.threads = 1;
+  // The campaign's engines record under this worker's shard; concurrent
+  // sweeps on different workers never share an instrument cache line.
+  ropt.metrics = &engine_metrics_;
+  ropt.metrics_shard_base = worker;
   if (!opt_.trace_dir.empty()) {
     const std::string dir =
         opt_.trace_dir + "/req-" + std::to_string(ticket);
@@ -566,6 +610,7 @@ std::string Service::handle_stats(const JsonObject& req,
       served_.cache_get.load(std::memory_order_relaxed),
       served_.cache_put.load(std::memory_order_relaxed),
       served_.stats.load(std::memory_order_relaxed),
+      served_.metrics.load(std::memory_order_relaxed),
       served_.shutdown.load(std::memory_order_relaxed),
       served_.errors.load(std::memory_order_relaxed)};
   static_assert(std::size(served_values) == std::size(kStatsServedFields));
@@ -588,6 +633,73 @@ std::string Service::handle_stats(const JsonObject& req,
       .field_raw("cache", cache_w.str())
       .field_raw("served", served_w.str())
       .str();
+}
+
+obs::Snapshot Service::metrics_snapshot() {
+  obs::Snapshot s = registry_.snapshot();
+  // Synthetic entries: state owned by other subsystems, sampled here so
+  // one scrape reports one coherent view. All counters below are monotone,
+  // which delta_since requires.
+  const CacheStats c = cache_.stats();
+  s.add_counter("cache_hits_total", c.hits);
+  s.add_counter("cache_misses_total", c.misses);
+  s.add_counter("cache_coalesced_total", c.coalesced);
+  s.add_counter("cache_inserts_total", c.inserts);
+  s.add_counter("cache_evictions_total", c.evictions);
+  s.add_counter("cache_executions_total", c.executions);
+  s.set_gauge("cache_size", static_cast<std::int64_t>(c.size));
+  s.set_gauge("cache_capacity", static_cast<std::int64_t>(c.capacity));
+  if (store_) {
+    const CacheStoreStats st = store_->stats();
+    s.add_counter("store_append_records_total", st.appended_records);
+    s.add_counter("store_append_bytes_total", st.appended_bytes);
+    s.add_counter("store_replayed_records_total", warm_loaded_);
+    s.add_counter("store_replayed_bytes_total", warm_bytes_);
+  }
+  const std::uint64_t served_values[] = {
+      served_.determine.load(std::memory_order_relaxed),
+      served_.verify.load(std::memory_order_relaxed),
+      served_.sweep.load(std::memory_order_relaxed),
+      served_.cache_get.load(std::memory_order_relaxed),
+      served_.cache_put.load(std::memory_order_relaxed),
+      served_.stats.load(std::memory_order_relaxed),
+      served_.metrics.load(std::memory_order_relaxed),
+      served_.shutdown.load(std::memory_order_relaxed),
+      served_.errors.load(std::memory_order_relaxed)};
+  static_assert(std::size(served_values) == std::size(kStatsServedFields));
+  for (std::size_t f = 0; f < std::size(kStatsServedFields); ++f) {
+    s.add_counter(
+        std::string("service_") + kStatsServedFields[f] + "_served_total",
+        served_values[f]);
+  }
+  s.set_gauge("service_queue_depth", static_cast<std::int64_t>(queue_.size()));
+  s.set_gauge("service_workers", opt_.workers);
+  return s;
+}
+
+// The telemetry scrape. Unlike every other op, the response carries
+// measurements (latency histograms, tick timings), so it is exempt from
+// the byte-identity transcript contract — and scraping it perturbs nothing:
+// recording is lock-free and write-only, reading sums the shards.
+std::string Service::handle_metrics(const JsonObject& req,
+                                    const std::string& id) {
+  obs::Snapshot s = metrics_snapshot();
+  const bool delta = req.get_bool("delta", false);
+  if (delta) {
+    // The delta window is per *daemon*, not per client: each delta scrape
+    // reports everything since the previous delta scrape (cumulative
+    // scrapes never disturb the baseline). dtopctl top is the intended
+    // single consumer; concurrent delta scrapers would split the stream.
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    obs::Snapshot d = s.delta_since(metrics_baseline_);
+    metrics_baseline_ = std::move(s);
+    s = std::move(d);
+  }
+  JsonWriter w;
+  if (!id.empty()) w.field_raw("id", id);
+  w.field("op", "metrics").field("ok", true).field("delta", delta);
+  write_snapshot_fields(w, s);
+  return w.str();
 }
 
 }  // namespace dtop::service

@@ -18,6 +18,10 @@
 //   {"op": "cache_put", "key": "...", "config": ..., "map": ..., ...}
 //                                            -> seed one entry (replication)
 //   {"op": "stats"}                          -> cache + served counters
+//   {"op": "metrics"}                        -> full telemetry snapshot
+//                                               ("delta": true -> window
+//                                               since the previous delta
+//                                               scrape)
 //   {"op": "shutdown"}                       -> flag a graceful stop
 //
 // Determinism contract (same one the engine, runner, and trace layers
@@ -25,7 +29,11 @@
 // requests completed before it. No wall-clock, worker-id, or thread-count
 // detail ever enters a response, so a scripted session replayed against a
 // 1-worker and an 8-worker daemon produces byte-identical transcripts
-// (tests/test_service.cpp). Identical determine requests in flight at the
+// (tests/test_service.cpp). The one deliberate exception is the `metrics`
+// op: it exists to report measurements (latencies, tick timings, queue
+// depth), so its responses are *not* part of the byte-identity contract —
+// every other response stays byte-identical whether or not metrics were
+// ever scraped. Identical determine requests in flight at the
 // same time coalesce onto one protocol run (ResultCache::get_or_compute).
 // Two scheduling-visible caveats, both counter-shaped: a pipelined
 // duplicate reports "coalesced" instead of "hit", and a `stats` request
@@ -37,6 +45,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +53,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/engine_metrics.hpp"
+#include "obs/registry.hpp"
 #include "service/job_queue.hpp"
 #include "service/json.hpp"
 #include "service/result_cache.hpp"
@@ -69,8 +80,13 @@ inline constexpr const char* kStatsCacheFields[] = {
     "capacity", "size",    "hits",      "misses",
     "coalesced", "inserts", "evictions", "executions"};
 inline constexpr const char* kStatsServedFields[] = {
-    "determine", "verify",    "sweep", "cache_get",
-    "cache_put", "stats",     "shutdown", "errors"};
+    "determine", "verify",  "sweep",    "cache_get", "cache_put",
+    "stats",     "metrics", "shutdown", "errors"};
+
+// The real ops (everything in kStatsServedFields except the trailing
+// "errors" tally): index order of the per-op latency histograms.
+inline constexpr std::size_t kServedOpCount =
+    std::size(kStatsServedFields) - 1;
 
 struct ServiceOptions {
   int workers = 1;                 // ThreadPool size executing requests
@@ -143,6 +159,7 @@ class Service {
     std::atomic<std::uint64_t> cache_get{0};
     std::atomic<std::uint64_t> cache_put{0};
     std::atomic<std::uint64_t> stats{0};
+    std::atomic<std::uint64_t> metrics{0};
     std::atomic<std::uint64_t> shutdown{0};
     std::atomic<std::uint64_t> errors{0};
   };
@@ -157,10 +174,15 @@ class Service {
                                std::uint64_t ticket, int worker);
   std::string handle_verify(const JsonObject& req, const std::string& id);
   std::string handle_sweep(const JsonObject& req, const std::string& id,
-                           std::uint64_t ticket);
+                           std::uint64_t ticket, int worker);
   std::string handle_cache_get(const JsonObject& req, const std::string& id);
   std::string handle_cache_put(const JsonObject& req, const std::string& id);
   std::string handle_stats(const JsonObject& req, const std::string& id);
+  std::string handle_metrics(const JsonObject& req, const std::string& id);
+
+  // The registry snapshot plus synthetic entries sampled at scrape time
+  // (cache counters, store bytes, served per-op counters, queue depth).
+  obs::Snapshot metrics_snapshot();
 
   ServiceOptions opt_;
   ResultCache cache_;
@@ -180,6 +202,22 @@ class Service {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> stopped_{false};
   Served served_;
+
+  // --- observability (src/obs) ------------------------------------------
+  // The registry owns every live instrument; handles below are registered
+  // once in the constructor (before the pump starts) and recorded into by
+  // request workers under their own shard index. The `metrics` op is the
+  // only reader.
+  obs::Registry registry_;
+  obs::EngineMetrics engine_metrics_;  // shared by every request engine
+  obs::Counter* requests_total_ = nullptr;   // every submitted line
+  obs::Counter* rejected_ = nullptr;  // lines that never reached a known op
+  // Per-op wall latency in microseconds, indexed like kStatsServedFields.
+  obs::ShardedHistogram* op_latency_us_[kServedOpCount] = {};
+  std::uint64_t warm_bytes_ = 0;  // store bytes replayed at construction
+  // Baseline of the previous `"delta": true` scrape.
+  std::mutex metrics_mu_;
+  obs::Snapshot metrics_baseline_;
 };
 
 }  // namespace dtop::service

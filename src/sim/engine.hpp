@@ -48,6 +48,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -55,6 +56,7 @@
 #include <utility>
 
 #include "graph/port_graph.hpp"
+#include "obs/engine_metrics.hpp"
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace_sink.hpp"
@@ -135,9 +137,11 @@ inline void bitmap_clear(WireBitmap& b) {
 
 // Calls fn(WireId) for every staged wire in ascending wire order,
 // consuming 64 wires per l0 load and skipping empty regions via the
-// summary levels.
+// summary levels. Returns the number of l0 words visited — the sweep's
+// true cost — for the metrics layer; callers without one ignore it.
 template <typename Fn>
-inline void bitmap_for_each(const WireBitmap& b, Fn&& fn) {
+inline std::size_t bitmap_for_each(const WireBitmap& b, Fn&& fn) {
+  std::size_t words = 0;
   for (std::size_t i2 = 0; i2 < b.l2_words; ++i2) {
     std::uint64_t w2 = b.l2[i2];
     while (w2) {
@@ -147,6 +151,7 @@ inline void bitmap_for_each(const WireBitmap& b, Fn&& fn) {
       while (w1) {
         const std::size_t i0 = (i1 << 6) + std::countr_zero(w1);
         w1 &= w1 - 1;
+        ++words;
         std::uint64_t w0 = b.l0[i0];
         while (w0) {
           fn(static_cast<WireId>((i0 << 6) + std::countr_zero(w0)));
@@ -155,6 +160,7 @@ inline void bitmap_for_each(const WireBitmap& b, Fn&& fn) {
       }
     }
   }
+  return words;
 }
 
 }  // namespace detail
@@ -171,6 +177,9 @@ struct alignas(64) EngineScratch {
   std::size_t sched_len = 0;
   std::size_t sched_cap = 0;
   std::uint64_t msgs = 0;
+  // This worker's step-loop duration for the current forked tick; written
+  // only when a metrics hook is attached (the imbalance histogram).
+  std::uint64_t step_ns = 0;
 };
 
 // Engine construction knobs beyond the graph/root/config triple.
@@ -194,6 +203,16 @@ struct EngineOptions {
   // Spin budget of the tick barrier before parking; < 0 = pool default.
   // 0 forces the pure-condvar park path (used by the barrier stress test).
   int spin_iters = -1;
+
+  // Observability hook (obs/engine_metrics.hpp): when set, the engine
+  // records tick-phase wall times, sweep word counts, and per-worker
+  // imbalance under `metrics_shard`. Strictly passive — traces, sweeps,
+  // and stats are byte-identical with or without it, and recording stays
+  // allocation-free (EngineStats::allocs still reads 0 in steady state).
+  const obs::EngineMetrics* metrics = nullptr;
+  // Registry shard the stepping thread records under; dtopd passes its
+  // request-worker index so concurrent engines never share a cache line.
+  int metrics_shard = 0;
 };
 
 // Per-tick view a machine gets of its node: read-only inputs and merge-style
@@ -247,6 +266,11 @@ class SyncEngine {
   // calibration table records the measurement behind the default).
   static constexpr std::size_t kDefaultParallelGrain = 96;
 
+  // Stack-array bound for gathering per-worker chunk timings into the
+  // imbalance histogram on forked ticks. Pools larger than this (none in
+  // practice) record the first kMaxEngineWorkers chunks only.
+  static constexpr int kMaxEngineWorkers = 256;
+
   // When `opt.arena` is null the engine owns a private arena; a
   // caller-supplied arena must outlive the engine and may be reset (and
   // handed to a new engine) once this engine is destroyed — runner workers
@@ -257,7 +281,10 @@ class SyncEngine {
         root_(root),
         pool_(pool_options(opt)),
         grain_(opt.parallel_grain ? opt.parallel_grain
-                                  : kDefaultParallelGrain) {
+                                  : kDefaultParallelGrain),
+        metrics_(opt.metrics),
+        metrics_shard_(opt.metrics_shard),
+        pool_park_mark_(pool_.park_stats()) {
     DTOP_REQUIRE(root < g.num_nodes(), "root out of range");
     g.validate();
     if (opt.arena) {
@@ -348,6 +375,8 @@ class SyncEngine {
              int num_threads = 1, Arena* arena = nullptr)
       : SyncEngine(g, root, cfg, EngineOptions{num_threads, arena}) {}
 
+  ~SyncEngine() { publish_pool_parks(); }
+
   const PortGraph& graph() const { return *graph_; }
   NodeId root() const { return root_; }
   Tick now() const { return tick_; }
@@ -411,6 +440,14 @@ class SyncEngine {
 
   // One global clock tick.
   void step() {
+    // Tick-phase timing is the one metrics cost on this path: a few
+    // steady_clock reads when a hook is attached, nothing otherwise. The
+    // recordings land in sharded relaxed atomics and never feed back into
+    // control flow, so the tick's observable behaviour is hook-invariant.
+    using clock = std::chrono::steady_clock;
+    const bool timed = metrics_ != nullptr;
+    clock::time_point t0, t1, t2;
+    if (timed) t0 = clock::now();
     ++tick_;
     // Sent-last-tick becomes readable now.
     std::swap(cur_, next_);
@@ -432,9 +469,10 @@ class SyncEngine {
       }
     }
     pending_.clear();
+    std::size_t sweep_words = 0;
     {
       const NodeId* tgt = targets_.data();
-      detail::bitmap_for_each(stage_[cur_], [&](WireId w) {
+      sweep_words = detail::bitmap_for_each(stage_[cur_], [&](WireId w) {
         const NodeId v = tgt[w];
         if (stamp[v] != tick_) {
           stamp[v] = tick_;
@@ -442,6 +480,7 @@ class SyncEngine {
         }
       });
     }
+    if (timed) t1 = clock::now();
 
     const std::size_t count = active_.size();
     // Granularity control: a fork-join per tick only pays off when there is
@@ -451,18 +490,27 @@ class SyncEngine {
     if (count > 0 && nthreads > 1) {
       pool_.run([&](int t) {
         EngineScratch& s = scratch_[static_cast<std::size_t>(t)];
+        clock::time_point w0;
+        if (timed) w0 = clock::now();
         const std::size_t begin = count * static_cast<std::size_t>(t) /
                                   static_cast<std::size_t>(nthreads);
         const std::size_t end = count * static_cast<std::size_t>(t + 1) /
                                 static_cast<std::size_t>(nthreads);
         const NodeId* act = active_.data();
         for (std::size_t i = begin; i < end; ++i) step_node(act[i], s);
+        if (timed) {
+          s.step_ns = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - w0)
+                  .count());
+        }
       });
     } else if (count > 0) {
       EngineScratch& s = scratch_[0];
       const NodeId* act = active_.data();
       for (std::size_t i = 0; i < count; ++i) step_node(act[i], s);
     }
+    if (timed) t2 = clock::now();
 
     // Trace the tick's node activations before merging effects; active-set
     // order is itself a deterministic function of the previous merges.
@@ -504,6 +552,27 @@ class SyncEngine {
     stats_.max_active = std::max<std::uint64_t>(stats_.max_active, count);
     stats_.allocs = heap_alloc_count() - alloc_mark_;
 
+    if (timed) {
+      const auto ns = [](clock::time_point a, clock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+      };
+      const bool forked = count > 0 && nthreads > 1;
+      metrics_->on_tick(ns(t0, t1), ns(t1, t2), ns(t2, clock::now()), count,
+                        sweep_words, forked, metrics_shard_);
+      if (forked) {
+        std::uint64_t chunk_ns[kMaxEngineWorkers];
+        const int nw =
+            nthreads < kMaxEngineWorkers ? nthreads : kMaxEngineWorkers;
+        for (int t = 0; t < nw; ++t) {
+          chunk_ns[t] = scratch_[static_cast<std::size_t>(t)].step_ns;
+          scratch_[static_cast<std::size_t>(t)].step_ns = 0;
+        }
+        metrics_->on_fork(chunk_ns, nw, metrics_shard_);
+      }
+    }
+
     if (observer_) observer_(*this);
   }
 
@@ -518,7 +587,22 @@ class SyncEngine {
       }
     }
     stats_.peak_rss_kb = peak_rss_kb();
+    publish_pool_parks();
     return status;
+  }
+
+  // Publishes the pool's park-path activity accumulated since the last
+  // publication to the metrics hook (the pool counters are monotone, so
+  // this is a delta and safe to call repeatedly). run() calls it per run;
+  // the destructor flushes whatever drivers that loop step() directly —
+  // run_gtd's injection loop — accumulated.
+  void publish_pool_parks() {
+    if (!metrics_) return;
+    const ThreadPoolStats now = pool_.park_stats();
+    metrics_->on_pool(now.worker_parks - pool_park_mark_.worker_parks,
+                      now.caller_parks - pool_park_mark_.caller_parks,
+                      metrics_shard_);
+    pool_park_mark_ = now;
   }
 
  private:
@@ -583,6 +667,9 @@ class SyncEngine {
   Tick tick_ = 0;
   EngineStats stats_;
   std::uint64_t alloc_mark_ = 0;
+  const obs::EngineMetrics* metrics_ = nullptr;
+  int metrics_shard_ = 0;
+  ThreadPoolStats pool_park_mark_;
   std::function<void(SyncEngine&)> observer_;
   EngineTraceSink<Message>* trace_ = nullptr;
 };

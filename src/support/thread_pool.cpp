@@ -104,6 +104,7 @@ void ThreadPool::run(FunctionRef<void(int)> body) {
   }
   if (!done) {
     std::unique_lock<std::mutex> lock(mu_);
+    caller_parks_.fetch_add(1, std::memory_order_relaxed);
     caller_parked_.store(true, std::memory_order_seq_cst);  // C1
     done_cv_.wait(lock, [this] {                            // C2
       return unfinished_.load(std::memory_order_seq_cst) == 0;
@@ -130,6 +131,7 @@ void ThreadPool::worker_loop(int index) {
       if (stop_.load(std::memory_order_seq_cst)) return;
       if (++spun >= spin_iters_) {
         std::unique_lock<std::mutex> lock(mu_);
+        worker_parks_.fetch_add(1, std::memory_order_relaxed);
         parked_.fetch_add(1, std::memory_order_seq_cst);  // W1
         start_cv_.wait(lock, [&] {                        // W2
           return stop_.load(std::memory_order_seq_cst) ||

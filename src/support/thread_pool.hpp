@@ -42,6 +42,16 @@ struct ThreadPoolOptions {
   int spin_iters = 1024;
 };
 
+// Cumulative park-path counters: how often a worker (or the joining
+// caller) exhausted its spin budget and blocked on the condvar. Sampled by
+// the observability layer (obs/engine_metrics.hpp) to show whether a
+// workload's tick cadence fits inside the spin window; the counters live
+// on the cold path only — the spin loop itself counts nothing.
+struct ThreadPoolStats {
+  std::uint64_t worker_parks = 0;
+  std::uint64_t caller_parks = 0;
+};
+
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads)
@@ -67,6 +77,14 @@ class ThreadPool {
   // flight at a time (single dispatcher).
   void run(FunctionRef<void(int)> body);
 
+  // Monotonic; sample twice and subtract for a per-run delta.
+  ThreadPoolStats park_stats() const {
+    ThreadPoolStats s;
+    s.worker_parks = worker_parks_.load(std::memory_order_relaxed);
+    s.caller_parks = caller_parks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   void worker_loop(int index);
 
@@ -87,6 +105,8 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::atomic<int> parked_{0};
   std::atomic<bool> caller_parked_{false};
+  std::atomic<std::uint64_t> worker_parks_{0};
+  std::atomic<std::uint64_t> caller_parks_{0};
 
   const FunctionRef<void(int)>* body_ = nullptr;
   std::exception_ptr first_error_;

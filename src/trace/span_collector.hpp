@@ -23,6 +23,10 @@ class SpanCollector {
     NodeId node = kNoNode;
     Tick start = 0, end = 0;
     bool forward = false;
+    // False for a span still in flight when the stream ended (a violation
+    // or budget-cut trace): its end/duration are meaningless and consumers
+    // must not fold it into duration statistics.
+    bool closed = false;
 
     Tick duration() const { return end - start; }
   };
@@ -47,6 +51,7 @@ class SpanCollector {
                    "RCA completion without a start");
         rca_open_ = false;
         rca_.back().end = ev.tick;
+        rca_.back().closed = true;
         break;
       case TraceEventKind::kBcaStart:
         DTOP_CHECK(!bca_open_, "overlapping BCAs observed");
@@ -58,6 +63,7 @@ class SpanCollector {
                    "BCA completion without a start");
         bca_open_ = false;
         bca_.back().end = ev.tick;
+        bca_.back().closed = true;
         break;
       case TraceEventKind::kGrowErased:
         erasures_.push_back(Erasure{ev.a, ev.tick, ev.b != 0});
