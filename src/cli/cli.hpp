@@ -127,7 +127,8 @@ struct SweepOptions {
 };
 
 struct TraceOptions {
-  std::string action;        // record | inspect | diff | replay
+  // record | inspect | diff | replay | extract | splice | overwrite | corpus
+  std::string action;
 
   // record
   GraphSpec spec;
@@ -137,7 +138,11 @@ struct TraceOptions {
   std::string config = "ratio3";  // engine config (ratio1..ratio4)
   std::vector<runner::FaultScenario> scenarios;  // faults applied to the run
   bool spans = false;        // also record RCA/BCA spans (forces threads 1)
-  std::string out;           // record: output trace file ("-" = stdout)
+  std::string out;           // trace-writing actions: output ("-" = stdout)
+
+  // trace-writing actions (record / extract / splice / overwrite)
+  std::string format = "dtr2";  // dtr2 (compressed, indexed) | dtr1
+  std::string codec;            // dtr2 block codec ("" = build default)
 
   // inspect / diff / replay
   std::string trace_file;    // --trace FILE (diff: the A side)
@@ -145,6 +150,17 @@ struct TraceOptions {
   std::uint64_t start = 0;          // inspect: first event index
   std::uint64_t max_events = 0;     // inspect: 0 = all
   bool summary = false;      // inspect: header and counts only
+
+  // extract / splice / overwrite window: an inclusive tick window or a
+  // half-open event-index window, not both. -1 = unset side.
+  std::int64_t from_tick = -1, to_tick = -1;
+  std::int64_t from_event = -1, to_event = -1;
+
+  std::string donor;         // splice: --donor FILE (injection source)
+  std::uint64_t seed = 1;    // overwrite: scenario wire-choice seed
+
+  // corpus
+  std::string corpus_dir;    // --dir DIR of .dtrace files
 };
 
 struct ServeOptions {

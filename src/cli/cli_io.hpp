@@ -10,24 +10,32 @@
 namespace dtop::cli {
 
 // Opens `path` for reading ("-" = stdin) and applies `fn` to the stream.
+// Binary mode: several consumers (trace files, the cache store) are byte
+// formats, and text mode would mangle them on platforms that translate.
 template <typename Fn>
 auto with_input(const std::string& path, Fn&& fn) {
   if (path == "-") return fn(std::cin);
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open '" + path + "' for reading");
   return fn(in);
 }
 
 // Opens `path` for writing ("" or "-" = `fallback`) and applies `fn`.
+// Binary mode, same reason as with_input. The flush + state check turns a
+// full disk into an error instead of a silently truncated file.
 template <typename Fn>
 void with_output(const std::string& path, std::ostream& fallback, Fn&& fn) {
   if (path.empty() || path == "-") {
     fn(fallback);
     return;
   }
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot open '" + path + "' for writing");
   fn(out);
+  out.flush();
+  if (!out.good()) {
+    throw Error("write to '" + path + "' failed (disk full?)");
+  }
 }
 
 }  // namespace dtop::cli

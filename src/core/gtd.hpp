@@ -122,4 +122,23 @@ struct ReplayResult {
 ReplayResult replay_gtd(const trace::RecordedTrace& rec, int num_threads = 1,
                         Arena* arena = nullptr);
 
+// --- re-record (core/rerecord.cpp) ----------------------------------------
+
+// Outcome of re-executing a (possibly edited) run under a fresh recorder —
+// the engine side of `dtopctl trace splice/overwrite`.
+struct RerecordResult {
+  trace::RecordedTrace trace;  // a genuine recording; replays clean
+  bool violation = false;      // the run died in a protocol violation
+  std::string detail;          // violation message ("" otherwise)
+  std::size_t injections_applied = 0;
+  RunStatus status = RunStatus::kTickBudget;
+};
+
+// Runs the network/root/config a trace header describes with `injections`
+// as the only external perturbations, recording everything. A violation is
+// captured, not thrown: the result then holds the partial stream a live
+// crash would have left on disk (no terminal kRunEnd).
+RerecordResult rerecord_gtd(const trace::TraceHeader& header,
+                            std::vector<trace::TraceInjection> injections);
+
 }  // namespace dtop

@@ -1,0 +1,41 @@
+// Re-execute and re-record: the engine side of trace surgery.
+//
+// Splice and overwrite edit a run's external inputs, which invalidates
+// every recorded event after the edit point — so instead of patching
+// bytes, the run described by the trace header is executed again with the
+// edited injection list, under a fresh recorder. The output is a genuine
+// recording: it replays clean by construction, and a surgery that provokes
+// a protocol violation yields exactly what a live run would have left
+// behind — a partial stream without a terminal kRunEnd.
+#include "core/gtd.hpp"
+
+namespace dtop {
+
+RerecordResult rerecord_gtd(const trace::TraceHeader& header,
+                            std::vector<trace::TraceInjection> injections) {
+  header.graph.validate();
+  DTOP_REQUIRE(header.root < header.graph.num_nodes(),
+               "rerecord: root out of range");
+
+  trace::TraceRecorder rec;
+  GtdOptions opt;
+  opt.protocol = header.config;
+  opt.injections = std::move(injections);
+  opt.trace = &rec;
+
+  RerecordResult out;
+  try {
+    const GtdResult r = run_gtd(header.graph, header.root, opt);
+    out.status = r.status;
+    out.injections_applied = r.injections_applied;
+  } catch (const Error& e) {
+    // A protocol violation unwound past run_gtd's finish(); the recorder
+    // holds the partial stream, which is the on-disk shape of a crash.
+    out.violation = true;
+    out.detail = e.what();
+  }
+  out.trace = rec.take();
+  return out;
+}
+
+}  // namespace dtop

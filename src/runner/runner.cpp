@@ -11,6 +11,7 @@
 #include "graph/analysis.hpp"
 #include "graph/families.hpp"
 #include "support/thread_pool.hpp"
+#include "trace/container.hpp"
 #include "trace/trace_io.hpp"
 
 namespace dtop::runner {
@@ -52,13 +53,17 @@ void capture_failure_trace(const JobSpec& job, const PortGraph& g,
   if (!rec.started()) return;
   const std::string path =
       trace_dir + "/job-" + std::to_string(job.index) + ".dtrace";
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
+  try {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot open " + path);
+    trace::write_trace_dtr2(out, rec.take());
+    out.flush();
+    if (!out.good()) throw Error("write to " + path + " failed");
+  } catch (const Error& e) {
     r.detail += (r.detail.empty() ? "" : "; ");
-    r.detail += "trace capture failed: cannot open " + path;
+    r.detail += std::string("trace capture failed: ") + e.what();
     return;
   }
-  trace::write_trace(out, rec.take());
   r.trace_file = path;
 }
 

@@ -16,6 +16,7 @@
 #include "runner/runner.hpp"
 #include "service/cache_store.hpp"
 #include "service/metrics_wire.hpp"
+#include "trace/container.hpp"
 #include "trace/recorder.hpp"
 #include "trace/trace_io.hpp"
 
@@ -176,9 +177,15 @@ std::string capture_determine_trace(const PortGraph& g, NodeId root,
   if (!rec.started()) return "";
   const std::string path =
       trace_dir + "/req-" + std::to_string(ticket) + ".dtrace";
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return "";
-  trace::write_trace(out, rec.take());
+  try {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return "";
+    trace::write_trace_dtr2(out, rec.take());
+    out.flush();
+    if (!out.good()) return "";
+  } catch (const Error&) {
+    return "";  // capture is best-effort; the determine already failed
+  }
   return path;
 }
 

@@ -1,0 +1,485 @@
+#include "trace/container.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace dtop::trace {
+namespace {
+
+constexpr std::uint8_t kFrameHeader = 1;
+constexpr std::uint8_t kFrameEvents = 2;
+constexpr std::uint8_t kFrameIndex = 3;
+constexpr std::size_t kPrologueSize = 6;   // magic + version + codec
+constexpr std::size_t kTrailerSize = 12;   // u64 footer offset + "2RTD"
+constexpr char kTrailerMagic[4] = {'2', 'R', 'T', 'D'};
+// Ceiling on a single frame's decompressed size: frames are untrusted
+// bytes, and raw_size is what the reader allocates before decompressing,
+// so a 20-byte crafted frame must not be able to demand gigabytes. Far
+// above anything the writer produces (blocks are a few thousand events).
+constexpr std::uint64_t kMaxFrameRaw = std::uint64_t{256} << 20;
+
+void append_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t load_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{static_cast<unsigned char>(p[i])} << (8 * i);
+  }
+  return v;
+}
+
+// Buffer-side varint: same encoding and overflow rules as trace_io's
+// stream reader.
+std::uint64_t take_varint(std::string_view buf, std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= buf.size()) {
+      throw TraceError("trace truncated: torn frame");
+    }
+    const auto b = static_cast<std::uint8_t>(buf[pos++]);
+    if (shift == 63 && (b & 0x7E)) {
+      throw TraceError("trace corrupt: varint overflows 64 bits");
+    }
+    v |= std::uint64_t{b & 0x7Fu} << shift;
+    if (!(b & 0x80)) return v;
+  }
+  throw TraceError("trace corrupt: varint longer than 10 bytes");
+}
+
+struct Frame {
+  std::uint8_t kind = 0;
+  std::uint64_t raw_size = 0;
+  TraceCodec codec = TraceCodec::kRaw;
+  std::string_view stored;  // view into the file buffer
+  std::size_t end = 0;      // offset just past the frame
+};
+
+// Parses and checksums the frame at `pos`. Throws TraceError when the
+// frame is torn, claims an absurd size, or fails its checksum.
+Frame parse_frame(std::string_view buf, std::size_t pos) {
+  Frame f;
+  if (pos >= buf.size()) {
+    throw TraceError("trace truncated: torn frame");
+  }
+  f.kind = static_cast<std::uint8_t>(buf[pos++]);
+  f.raw_size = take_varint(buf, pos);
+  const std::uint64_t stored_size = take_varint(buf, pos);
+  if (pos >= buf.size()) {
+    throw TraceError("trace truncated: torn frame");
+  }
+  const auto codec_byte = static_cast<std::uint8_t>(buf[pos++]);
+  if (codec_byte >= kNumTraceCodecs) {
+    throw TraceError("trace corrupt: unknown codec id");
+  }
+  f.codec = static_cast<TraceCodec>(codec_byte);
+  if (f.raw_size > kMaxFrameRaw || stored_size > kMaxFrameRaw) {
+    throw TraceError("trace corrupt: frame size out of range");
+  }
+  if (buf.size() - pos < 8) {
+    throw TraceError("trace truncated: torn frame");
+  }
+  const std::uint64_t want = load_u64le(buf.data() + pos);
+  pos += 8;
+  if (stored_size > buf.size() - pos) {
+    throw TraceError("trace truncated: torn frame");
+  }
+  f.stored = buf.substr(pos, static_cast<std::size_t>(stored_size));
+  f.end = pos + static_cast<std::size_t>(stored_size);
+  if (fnv1a64(f.stored) != want) {
+    throw TraceError("trace corrupt: frame checksum mismatch");
+  }
+  return f;
+}
+
+void check_stream(std::ostream& os) {
+  if (!os.good()) {
+    throw Error("trace write failed: output stream error (disk full?)");
+  }
+}
+
+}  // namespace
+
+// --- writer ----------------------------------------------------------------
+
+Dtr2Writer::Dtr2Writer(std::ostream& os, const TraceHeader& header,
+                       Dtr2Options opts)
+    : os_(os), opts_(opts) {
+  DTOP_REQUIRE(codec_available(opts_.codec),
+               "Dtr2Writer: codec not available in this build");
+  DTOP_REQUIRE(opts_.block_events > 0, "Dtr2Writer: block_events must be > 0");
+  std::string prologue(kTrace2Magic, sizeof kTrace2Magic);
+  prologue.push_back(static_cast<char>(kTrace2Version));
+  prologue.push_back(static_cast<char>(opts_.codec));
+  os_.write(prologue.data(), static_cast<std::streamsize>(prologue.size()));
+  offset_ = prologue.size();
+  std::ostringstream hs;
+  write_header_tail(hs, header);
+  write_frame(kFrameHeader, hs.str());
+}
+
+std::uint64_t Dtr2Writer::write_frame(std::uint8_t kind,
+                                      const std::string& raw) {
+  TraceCodec stored_codec = opts_.codec;
+  std::string compressed;
+  const std::string* stored = &raw;
+  if (stored_codec != TraceCodec::kRaw) {
+    compressed = codec_compress(stored_codec, raw);
+    if (compressed.size() < raw.size()) {
+      stored = &compressed;
+    } else {
+      stored_codec = TraceCodec::kRaw;  // compression did not shrink it
+    }
+  }
+  std::string head;
+  head.push_back(static_cast<char>(kind));
+  put_varint(head, raw.size());
+  put_varint(head, stored->size());
+  head.push_back(static_cast<char>(stored_codec));
+  append_u64le(head, fnv1a64(*stored));
+  const std::uint64_t at = offset_;
+  os_.write(head.data(), static_cast<std::streamsize>(head.size()));
+  os_.write(stored->data(), static_cast<std::streamsize>(stored->size()));
+  offset_ += head.size() + stored->size();
+  check_stream(os_);
+  return at;
+}
+
+void Dtr2Writer::write(const TraceEvent& ev) {
+  DTOP_REQUIRE(!finished_, "Dtr2Writer: write after finish");
+  DTOP_REQUIRE(ev.tick >= last_tick_, "trace events must be tick-ordered");
+  if (block_event_count_ == 0) {
+    block_first_tick_ = ev.tick;
+    block_last_tick_ = 0;  // blocks are independently decodable
+  }
+  std::ostringstream rec;
+  write_event_record(rec, ev, block_last_tick_);
+  block_ += rec.str();
+  last_tick_ = ev.tick;
+  ++block_event_count_;
+  ++total_events_;
+  ++kind_counts_[static_cast<std::size_t>(ev.kind)];
+  if (block_event_count_ >= opts_.block_events) flush_block();
+}
+
+void Dtr2Writer::flush_block() {
+  if (block_event_count_ == 0) return;
+  const std::uint64_t at = write_frame(kFrameEvents, block_);
+  index_.push_back({at, block_event_count_, block_first_tick_});
+  block_.clear();
+  block_event_count_ = 0;
+}
+
+void Dtr2Writer::finish() {
+  if (finished_) return;
+  flush_block();
+  std::string idx;
+  put_varint(idx, total_events_);
+  put_varint(idx, static_cast<std::uint64_t>(last_tick_));
+  put_varint(idx, kNumTraceEventKinds);
+  for (const std::uint64_t c : kind_counts_) put_varint(idx, c);
+  put_varint(idx, index_.size());
+  std::uint64_t prev_off = 0;
+  Tick prev_tick = 0;
+  for (const BlockEntry& b : index_) {
+    put_varint(idx, b.offset - prev_off);
+    put_varint(idx, b.events);
+    put_varint(idx, static_cast<std::uint64_t>(b.first_tick - prev_tick));
+    prev_off = b.offset;
+    prev_tick = b.first_tick;
+  }
+  const std::uint64_t footer_at = write_frame(kFrameIndex, idx);
+  std::string trailer;
+  append_u64le(trailer, footer_at);
+  trailer.append(kTrailerMagic, sizeof kTrailerMagic);
+  os_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  os_.flush();
+  check_stream(os_);
+  finished_ = true;
+}
+
+void write_trace_dtr2(std::ostream& os, const RecordedTrace& trace,
+                      Dtr2Options opts) {
+  Dtr2Writer w(os, trace.header, opts);
+  for (const TraceEvent& ev : trace.events) w.write(ev);
+  w.finish();
+}
+
+// --- reader ----------------------------------------------------------------
+
+TraceFile::TraceFile(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic) {
+    throw TraceError("not a dtop trace: bad magic (want \"DTR1\"/\"DTR2\")");
+  }
+  if (std::equal(magic, magic + sizeof magic, kTrace2Magic)) {
+    format_ = Format::kDtr2;
+    init_dtr2(is);
+  } else if (std::equal(magic, magic + sizeof magic, kTraceMagic)) {
+    format_ = Format::kDtr1;
+    init_dtr1(is);
+  } else {
+    throw TraceError("not a dtop trace: bad magic (want \"DTR1\"/\"DTR2\")");
+  }
+}
+
+void TraceFile::init_dtr1(std::istream& is) {
+  header_ = read_header_tail(is);
+  Block b;
+  b.decoded = true;
+  Tick lt = 0;
+  TraceEvent ev;
+  while (read_event_record(is, ev, lt)) {
+    ++kind_counts_[static_cast<std::size_t>(ev.kind)];
+    b.cache.push_back(ev);
+  }
+  b.events = b.cache.size();
+  if (!b.cache.empty()) {
+    b.first_tick = b.cache.front().tick;
+    last_tick_ = b.cache.back().tick;
+  }
+  total_events_ = b.events;
+  blocks_.push_back(std::move(b));
+}
+
+void TraceFile::init_dtr2(std::istream& is) {
+  buf_.assign(kTrace2Magic, sizeof kTrace2Magic);
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  buf_ += rest.str();
+  if (buf_.size() < kPrologueSize) {
+    throw TraceError("trace truncated: torn DTR2 prologue");
+  }
+  std::size_t pos = sizeof kTrace2Magic;
+  const auto version = static_cast<std::uint8_t>(buf_[pos++]);
+  if (version != kTrace2Version) {
+    throw TraceError("unsupported DTR2 container version " +
+                     std::to_string(version));
+  }
+  const auto codec_byte = static_cast<std::uint8_t>(buf_[pos++]);
+  if (codec_byte >= kNumTraceCodecs) {
+    throw TraceError("trace corrupt: unknown codec id");
+  }
+  file_codec_ = static_cast<TraceCodec>(codec_byte);
+
+  const Frame hf = parse_frame(buf_, pos);
+  if (hf.kind != kFrameHeader) {
+    throw TraceError("trace corrupt: DTR2 header frame missing");
+  }
+  const std::string raw = codec_decompress(hf.codec, hf.stored, hf.raw_size);
+  std::istringstream hs(raw);
+  header_ = read_header_tail(hs);
+  if (hs.peek() != std::char_traits<char>::eof()) {
+    throw TraceError("trace corrupt: trailing bytes in header frame");
+  }
+  if (!try_load_index()) scan_frames(hf.end);
+}
+
+bool TraceFile::try_load_index() {
+  if (buf_.size() < kPrologueSize + kTrailerSize) return false;
+  const std::size_t tpos = buf_.size() - kTrailerSize;
+  if (buf_.compare(tpos + 8, sizeof kTrailerMagic, kTrailerMagic,
+                   sizeof kTrailerMagic) != 0) {
+    return false;
+  }
+  const std::uint64_t foot = load_u64le(buf_.data() + tpos);
+  if (foot < kPrologueSize || foot >= tpos) return false;
+  try {
+    const Frame f = parse_frame(buf_, static_cast<std::size_t>(foot));
+    if (f.kind != kFrameIndex || f.end != tpos) return false;
+    const std::string raw = codec_decompress(f.codec, f.stored, f.raw_size);
+    std::size_t p = 0;
+    const std::uint64_t total = take_varint(raw, p);
+    const std::uint64_t lt = take_varint(raw, p);
+    if (lt > static_cast<std::uint64_t>(std::numeric_limits<Tick>::max())) {
+      return false;
+    }
+    if (take_varint(raw, p) != kNumTraceEventKinds) return false;
+    std::array<std::uint64_t, kNumTraceEventKinds> counts{};
+    std::uint64_t counts_sum = 0;
+    for (auto& c : counts) {
+      c = take_varint(raw, p);
+      counts_sum += c;
+    }
+    const std::uint64_t nblocks = take_varint(raw, p);
+    if (nblocks > buf_.size()) return false;  // each block frame is >1 byte
+    std::vector<Block> blocks;
+    blocks.reserve(static_cast<std::size_t>(nblocks));
+    std::uint64_t off = 0, first_event = 0;
+    std::uint64_t ft = 0;
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+      const std::uint64_t off_delta = take_varint(raw, p);
+      if (i > 0 && off_delta == 0) return false;  // offsets must increase
+      off += off_delta;
+      Block b;
+      b.offset = off;
+      b.events = take_varint(raw, p);
+      ft += take_varint(raw, p);
+      if (ft > static_cast<std::uint64_t>(std::numeric_limits<Tick>::max())) {
+        return false;
+      }
+      b.first_tick = static_cast<Tick>(ft);
+      b.first_event = first_event;
+      first_event += b.events;
+      if (b.offset < kPrologueSize || b.offset >= foot) return false;
+      blocks.push_back(std::move(b));
+    }
+    if (p != raw.size()) return false;
+    if (first_event != total || counts_sum != total) return false;
+    blocks_ = std::move(blocks);
+    total_events_ = total;
+    last_tick_ = static_cast<Tick>(lt);
+    kind_counts_ = counts;
+    indexed_ = true;
+    return true;
+  } catch (const TraceError&) {
+    return false;  // advisory index: fall back to a sequential scan
+  }
+}
+
+void TraceFile::scan_frames(std::size_t events_begin) {
+  std::size_t pos = events_begin;
+  while (pos < buf_.size()) {
+    if (buf_.size() - pos <= kTrailerSize) {
+      // At most a trailer's worth of bytes: the smallest complete frame is
+      // 13 bytes (12 of framing + a non-empty payload), so this tail is the
+      // trailer — possibly damaged, which is why the scan is running — or
+      // the torn remnant of a writer that died mid-trailer. Either way
+      // every complete frame has been read.
+      break;
+    }
+    const Frame f = parse_frame(buf_, pos);
+    if (f.kind == kFrameEvents) {
+      Block b;
+      b.offset = pos;
+      b.first_event = total_events_;
+      blocks_.push_back(std::move(b));
+      const std::vector<TraceEvent>& evs = block_events(blocks_.size() - 1);
+      Block& nb = blocks_.back();
+      nb.events = evs.size();
+      nb.first_tick = evs.empty() ? last_tick_ : evs.front().tick;
+      if (!evs.empty()) {
+        if (evs.front().tick < last_tick_) {
+          throw TraceError("trace corrupt: blocks out of tick order");
+        }
+        for (const TraceEvent& ev : evs) {
+          ++kind_counts_[static_cast<std::size_t>(ev.kind)];
+        }
+        total_events_ += evs.size();
+        last_tick_ = evs.back().tick;
+      }
+    } else if (f.kind == kFrameIndex) {
+      // Advisory; already rejected by try_load_index, skip its frame.
+    } else {
+      throw TraceError("trace corrupt: unexpected frame kind " +
+                       std::to_string(f.kind));
+    }
+    pos = f.end;
+  }
+}
+
+const std::vector<TraceEvent>& TraceFile::block_events(std::size_t i) {
+  Block& b = blocks_[i];
+  if (b.decoded) return b.cache;
+  const Frame f = parse_frame(buf_, static_cast<std::size_t>(b.offset));
+  if (f.kind != kFrameEvents) {
+    throw TraceError("trace corrupt: index points at a non-event frame");
+  }
+  const std::string raw = codec_decompress(f.codec, f.stored, f.raw_size);
+  std::istringstream rs(raw);
+  std::vector<TraceEvent> evs;
+  evs.reserve(static_cast<std::size_t>(b.events));
+  Tick lt = 0;
+  TraceEvent ev;
+  while (read_event_record(rs, ev, lt)) evs.push_back(ev);
+  if (indexed_) {
+    // The index is what seeks and stats trust; a block that disagrees with
+    // it would silently skew both.
+    if (evs.size() != b.events ||
+        (!evs.empty() && evs.front().tick != b.first_tick)) {
+      throw TraceError("trace corrupt: block disagrees with seek index");
+    }
+  }
+  b.cache = std::move(evs);
+  b.decoded = true;
+  ++blocks_decoded_;
+  return b.cache;
+}
+
+std::vector<TraceEvent> TraceFile::events_in_range(std::uint64_t begin,
+                                                   std::uint64_t count) {
+  std::vector<TraceEvent> out;
+  if (begin >= total_events_ || count == 0) return out;
+  const std::uint64_t end = begin + std::min(count, total_events_ - begin);
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), begin,
+      [](std::uint64_t v, const Block& b) { return v < b.first_event; });
+  std::size_t i =
+      it == blocks_.begin()
+          ? 0
+          : static_cast<std::size_t>(it - blocks_.begin()) - 1;
+  for (; i < blocks_.size() && blocks_[i].first_event < end; ++i) {
+    const std::vector<TraceEvent>& evs = block_events(i);
+    const std::uint64_t bf = blocks_[i].first_event;
+    const std::uint64_t s = begin > bf ? begin - bf : 0;
+    const std::uint64_t e =
+        std::min<std::uint64_t>(evs.size(), end - bf);
+    for (std::uint64_t j = s; j < e; ++j) {
+      out.push_back(evs[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceFile::first_event_at_tick(Tick t) {
+  if (total_events_ == 0) return 0;
+  // The last block starting before t: its tail may reach t even when the
+  // next block starts exactly at t, so it is the one to decode.
+  auto it = std::lower_bound(
+      blocks_.begin(), blocks_.end(), t,
+      [](const Block& b, Tick v) { return b.first_tick < v; });
+  if (it == blocks_.begin()) return 0;
+  const std::size_t i = static_cast<std::size_t>(it - blocks_.begin()) - 1;
+  const std::vector<TraceEvent>& evs = block_events(i);
+  for (std::size_t j = 0; j < evs.size(); ++j) {
+    if (evs[j].tick >= t) return blocks_[i].first_event + j;
+  }
+  return blocks_[i].first_event + evs.size();
+}
+
+RecordedTrace TraceFile::read_all() {
+  RecordedTrace t;
+  t.header = header_;
+  t.events.reserve(static_cast<std::size_t>(total_events_));
+  Tick prev = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const std::vector<TraceEvent>& evs = block_events(i);
+    if (!evs.empty()) {
+      // Within a block the delta coding forces tick order; across blocks a
+      // crafted file could rewind time, which DTR1 cannot express.
+      if (evs.front().tick < prev) {
+        throw TraceError("trace corrupt: blocks out of tick order");
+      }
+      prev = evs.back().tick;
+    }
+    t.events.insert(t.events.end(), evs.begin(), evs.end());
+  }
+  return t;
+}
+
+RecordedTrace read_trace_dtr2_after_magic(std::istream& is) {
+  TraceFile f;
+  f.format_ = TraceFile::Format::kDtr2;
+  f.init_dtr2(is);
+  return f.read_all();
+}
+
+}  // namespace dtop::trace

@@ -1,0 +1,112 @@
+#include "trace/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/canonical.hpp"
+#include "trace/span_collector.hpp"
+
+namespace dtop::trace {
+
+void corpus_add(CorpusSummary& s, const std::string& path,
+                const RecordedTrace& t) {
+  const std::uint64_t hash = canonical_hash(t.header.graph, t.header.root);
+  CorpusGroup* g = nullptr;
+  for (CorpusGroup& cand : s.groups) {
+    if (cand.canon_hash == hash) {
+      g = &cand;
+      break;
+    }
+  }
+  if (g == nullptr) {
+    CorpusGroup fresh;
+    fresh.canon_hash = hash;
+    fresh.nodes = t.header.graph.num_nodes();
+    fresh.delta = t.header.graph.delta();
+    fresh.root = t.header.root;
+    s.groups.push_back(std::move(fresh));
+    g = &s.groups.back();
+  }
+
+  ++g->runs;
+  g->total_events += t.events.size();
+  for (const TraceEvent& ev : t.events) {
+    ++g->kind_counts[static_cast<std::size_t>(ev.kind)];
+  }
+  const bool clean_end =
+      !t.events.empty() && t.events.back().kind == TraceEventKind::kRunEnd;
+  if (clean_end) {
+    g->run_ticks.record(static_cast<std::uint64_t>(t.events.back().tick));
+  } else {
+    // A stream without a terminal record died mid-run; its partial length
+    // would skew the run-length distribution, so it only counts here.
+    ++g->violation_runs;
+  }
+  const SpanCollector spans = collect_spans(t.events);
+  for (const SpanCollector::Span& sp : spans.rca()) {
+    if (sp.closed) {
+      g->rca_ticks.record(static_cast<std::uint64_t>(sp.duration()));
+    }
+  }
+  for (const SpanCollector::Span& sp : spans.bca()) {
+    if (sp.closed) {
+      g->bca_ticks.record(static_cast<std::uint64_t>(sp.duration()));
+    }
+  }
+  g->files.push_back(path);
+}
+
+void corpus_finalize(CorpusSummary& s) {
+  std::sort(s.groups.begin(), s.groups.end(),
+            [](const CorpusGroup& a, const CorpusGroup& b) {
+              if (a.runs != b.runs) return a.runs > b.runs;
+              return a.canon_hash < b.canon_hash;
+            });
+  for (CorpusGroup& g : s.groups) {
+    std::sort(g.files.begin(), g.files.end());
+  }
+  std::sort(s.failures.begin(), s.failures.end(),
+            [](const CorpusFailure& a, const CorpusFailure& b) {
+              return a.path < b.path;
+            });
+}
+
+CorpusSummary scan_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw Error("corpus: not a directory: " + dir);
+  }
+
+  // Collect-then-sort so the scan order (and thus failure reporting and
+  // group file lists before finalize) never depends on readdir order.
+  std::vector<std::string> paths;
+  for (fs::recursive_directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().extension() == ".dtrace") {
+      paths.push_back(it->path().string());
+    }
+  }
+  if (ec) {
+    throw Error("corpus: cannot scan " + dir + ": " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  CorpusSummary s;
+  for (const std::string& path : paths) {
+    ++s.files_scanned;
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw Error("cannot open file");
+      const RecordedTrace t = read_trace(in);
+      corpus_add(s, path, t);
+    } catch (const Error& e) {
+      s.failures.push_back(CorpusFailure{path, e.what()});
+    }
+  }
+  corpus_finalize(s);
+  return s;
+}
+
+}  // namespace dtop::trace

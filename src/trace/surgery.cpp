@@ -1,0 +1,82 @@
+#include "trace/surgery.hpp"
+
+#include <algorithm>
+
+namespace dtop::trace {
+namespace {
+
+std::uint64_t clamp_end(const std::vector<TraceEvent>& events,
+                        std::uint64_t end) {
+  return std::min<std::uint64_t>(end, events.size());
+}
+
+}  // namespace
+
+EventRange resolve_tick_range(const std::vector<TraceEvent>& events,
+                              Tick from_tick, Tick to_tick) {
+  DTOP_REQUIRE(from_tick <= to_tick, "tick range: from > to");
+  const auto lo = std::lower_bound(
+      events.begin(), events.end(), from_tick,
+      [](const TraceEvent& ev, Tick t) { return ev.tick < t; });
+  const auto hi = std::upper_bound(
+      events.begin(), events.end(), to_tick,
+      [](Tick t, const TraceEvent& ev) { return t < ev.tick; });
+  return EventRange{static_cast<std::uint64_t>(lo - events.begin()),
+                    static_cast<std::uint64_t>(hi - events.begin())};
+}
+
+RecordedTrace extract_range(const RecordedTrace& t, EventRange r) {
+  RecordedTrace out;
+  out.header = t.header;
+  const std::uint64_t end = clamp_end(t.events, r.end);
+  for (std::uint64_t i = r.begin; i < end; ++i) {
+    out.events.push_back(t.events[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<TraceInjection> injections_in_range(const RecordedTrace& t,
+                                                EventRange r) {
+  std::vector<TraceInjection> out;
+  const std::uint64_t end = clamp_end(t.events, r.end);
+  for (std::uint64_t i = r.begin; i < end; ++i) {
+    const TraceEvent& ev = t.events[static_cast<std::size_t>(i)];
+    if (ev.kind == TraceEventKind::kInject) {
+      out.push_back(TraceInjection{ev.tick, ev.a, ev.payload});
+    }
+  }
+  return out;
+}
+
+std::vector<TraceInjection> injections_outside_range(const RecordedTrace& t,
+                                                     EventRange r) {
+  std::vector<TraceInjection> out;
+  const std::uint64_t end = clamp_end(t.events, r.end);
+  for (std::uint64_t i = 0; i < t.events.size(); ++i) {
+    if (i >= r.begin && i < end) continue;
+    const TraceEvent& ev = t.events[static_cast<std::size_t>(i)];
+    if (ev.kind == TraceEventKind::kInject) {
+      out.push_back(TraceInjection{ev.tick, ev.a, ev.payload});
+    }
+  }
+  return out;
+}
+
+std::vector<TraceInjection> merge_injections(std::vector<TraceInjection> a,
+                                             std::vector<TraceInjection> b) {
+  std::vector<TraceInjection> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (b[j].at < a[i].at) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+  return out;
+}
+
+}  // namespace dtop::trace

@@ -1,0 +1,53 @@
+// Range surgery on recorded traces: the pure event-list operations behind
+// `dtopctl trace extract/splice/overwrite`.
+//
+// Only extraction is a literal cut-and-keep. Splice and overwrite cannot
+// be: a recorded stream is the output of a deterministic run, so editing
+// its external inputs (the kInject records) invalidates every event after
+// the edit. The helpers here therefore only *select* — a window's events,
+// a window's injections, a merge of injection lists — and the CLI feeds
+// the selected injections to core's rerecord_gtd, which re-executes the
+// run and produces a genuine recording. A spliced trace replays clean
+// because it *is* a recording, not a patched one.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "trace/trace_io.hpp"
+
+namespace dtop::trace {
+
+// Half-open window of global event indices. The default covers everything.
+struct EventRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = std::numeric_limits<std::uint64_t>::max();
+};
+
+// The event-index window holding exactly the events with
+// from_tick <= tick <= to_tick (events are tick-sorted, so it is one
+// contiguous window).
+EventRange resolve_tick_range(const std::vector<TraceEvent>& events,
+                              Tick from_tick, Tick to_tick);
+
+// The window's events under the original header. The result is a viewing /
+// diffing artifact, not a replayable run — replay needs the events from
+// tick 0, which is what rerecord_gtd regenerates.
+RecordedTrace extract_range(const RecordedTrace& t, EventRange r);
+
+// The window's kInject records, as re-appliable injections (at = recorded
+// tick, so re-execution places each rogue exactly when the recording did).
+std::vector<TraceInjection> injections_in_range(const RecordedTrace& t,
+                                                EventRange r);
+
+// The complement: every kInject record *outside* the window — the
+// survivors of an overwrite.
+std::vector<TraceInjection> injections_outside_range(const RecordedTrace& t,
+                                                     EventRange r);
+
+// Stable merge of two tick-sorted injection lists (ties keep `a` first).
+std::vector<TraceInjection> merge_injections(std::vector<TraceInjection> a,
+                                             std::vector<TraceInjection> b);
+
+}  // namespace dtop::trace

@@ -5,6 +5,8 @@
 #include <limits>
 #include <ostream>
 
+#include "trace/container.hpp"
+
 namespace dtop::trace {
 namespace {
 
@@ -69,6 +71,12 @@ std::uint64_t read_varint(std::istream& is) {
   std::uint64_t v = 0;
   for (int shift = 0; shift < 64; shift += 7) {
     const std::uint8_t b = get_u8(is);
+    // At shift 63 only bit 0 of the final byte still fits in the result;
+    // shifting a wider payload would silently drop its bits 1..6 and decode
+    // a crafted 10-byte varint to the wrong value instead of failing.
+    if (shift == 63 && (b & 0x7E)) {
+      throw TraceError("trace corrupt: varint overflows 64 bits");
+    }
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if (!(b & 0x80)) return v;
   }
@@ -148,10 +156,7 @@ Character read_character(std::istream& is) {
   return c;
 }
 
-namespace {
-
-void write_header(std::ostream& os, const TraceHeader& h) {
-  os.write(kTraceMagic, sizeof kTraceMagic);
+void write_header_tail(std::ostream& os, const TraceHeader& h) {
   put_u8(os, h.version);
   write_varint(os, h.root);
   put_u8(os, h.graph.delta());
@@ -177,13 +182,7 @@ void write_header(std::ostream& os, const TraceHeader& h) {
   write_varint(os, static_cast<std::uint64_t>(h.config.token_delay));
 }
 
-TraceHeader read_header(std::istream& is) {
-  char magic[4];
-  is.read(magic, sizeof magic);
-  if (is.gcount() != sizeof magic ||
-      !std::equal(magic, magic + sizeof magic, kTraceMagic)) {
-    throw TraceError("not a dtop trace: bad magic (want \"DTR1\")");
-  }
+TraceHeader read_header_tail(std::istream& is) {
   TraceHeader h;
   h.version = get_u8(is);
   if (h.version != kTraceVersion) {
@@ -289,57 +288,91 @@ TraceHeader read_header(std::istream& is) {
   return h;
 }
 
-}  // namespace
+namespace {
 
-TraceWriter::TraceWriter(std::ostream& os, const TraceHeader& header)
-    : os_(os) {
-  write_header(os_, header);
+// The DTR1 on-disk header: magic, then the shared tail.
+void write_header(std::ostream& os, const TraceHeader& h) {
+  os.write(kTraceMagic, sizeof kTraceMagic);
+  write_header_tail(os, h);
 }
 
-void TraceWriter::write(const TraceEvent& ev) {
-  DTOP_REQUIRE(ev.tick >= last_tick_, "trace events must be tick-ordered");
-  put_u8(os_, static_cast<std::uint8_t>(ev.kind));
-  write_varint(os_, static_cast<std::uint64_t>(ev.tick - last_tick_));
-  last_tick_ = ev.tick;
+TraceHeader read_header(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic ||
+      !std::equal(magic, magic + sizeof magic, kTraceMagic)) {
+    throw TraceError("not a dtop trace: bad magic (want \"DTR1\")");
+  }
+  return read_header_tail(is);
+}
+
+// A write that left the stream in a failed state means the bytes are not on
+// disk (full disk, dead pipe); reporting success anyway would hand the user
+// a silently truncated trace.
+void check_stream(std::ostream& os) {
+  if (!os.good()) {
+    throw Error("trace write failed: output stream error (disk full?)");
+  }
+}
+
+}  // namespace
+
+void write_event_record(std::ostream& os, const TraceEvent& ev,
+                        Tick& last_tick) {
+  DTOP_REQUIRE(ev.tick >= last_tick, "trace events must be tick-ordered");
+  put_u8(os, static_cast<std::uint8_t>(ev.kind));
+  write_varint(os, static_cast<std::uint64_t>(ev.tick - last_tick));
+  last_tick = ev.tick;
   switch (ev.kind) {
     case TraceEventKind::kSchedule:
     case TraceEventKind::kNodeStep:
     case TraceEventKind::kRcaComplete:
     case TraceEventKind::kBcaStart:
     case TraceEventKind::kBcaComplete:
-      write_varint(os_, ev.a);
+      write_varint(os, ev.a);
       break;
     case TraceEventKind::kWireSend:
-      write_varint(os_, ev.a);
-      write_character(os_, ev.payload);
+      write_varint(os, ev.a);
+      write_character(os, ev.payload);
       break;
     case TraceEventKind::kInject:
-      write_varint(os_, ev.a);
-      put_u8(os_, ev.b);
-      write_character(os_, ev.payload);
+      write_varint(os, ev.a);
+      put_u8(os, ev.b);
+      write_character(os, ev.payload);
       break;
     case TraceEventKind::kRootEvent:
-      write_varint(os_, ev.a);
-      put_u8(os_, ev.b);
-      put_u8(os_, ev.c);
+      write_varint(os, ev.a);
+      put_u8(os, ev.b);
+      put_u8(os, ev.c);
       break;
     case TraceEventKind::kRcaStart:
     case TraceEventKind::kRcaPhase:
     case TraceEventKind::kGrowErased:
-      write_varint(os_, ev.a);
-      put_u8(os_, ev.b);
+      write_varint(os, ev.a);
+      put_u8(os, ev.b);
       break;
     case TraceEventKind::kRunEnd:
-      write_varint(os_, ev.a);
+      write_varint(os, ev.a);
       break;
   }
+}
+
+TraceWriter::TraceWriter(std::ostream& os, const TraceHeader& header)
+    : os_(os) {
+  write_header(os_, header);
+  check_stream(os_);
+}
+
+void TraceWriter::write(const TraceEvent& ev) {
+  write_event_record(os_, ev, last_tick_);
+  check_stream(os_);
 }
 
 TraceReader::TraceReader(std::istream& is)
     : is_(is), header_(read_header(is)) {}
 
-bool TraceReader::next(TraceEvent& ev) {
-  const int first = is_.get();
+bool read_event_record(std::istream& is, TraceEvent& ev, Tick& last_tick) {
+  const int first = is.get();
   if (first == std::char_traits<char>::eof()) return false;  // clean EOF
   if (first >= kNumTraceEventKinds) {
     throw TraceError("trace corrupt: unknown event kind " +
@@ -347,16 +380,16 @@ bool TraceReader::next(TraceEvent& ev) {
   }
   ev = TraceEvent{};
   ev.kind = static_cast<TraceEventKind>(first);
-  const std::uint64_t delta = read_varint(is_);
+  const std::uint64_t delta = read_varint(is);
   if (delta > static_cast<std::uint64_t>(std::numeric_limits<Tick>::max() -
-                                         last_tick_)) {
+                                         last_tick)) {
     throw TraceError("trace corrupt: tick overflow");
   }
-  last_tick_ += static_cast<Tick>(delta);
-  ev.tick = last_tick_;
+  last_tick += static_cast<Tick>(delta);
+  ev.tick = last_tick;
 
-  const auto read_a = [this] {
-    const std::uint64_t v = read_varint(is_);
+  const auto read_a = [&is] {
+    const std::uint64_t v = read_varint(is);
     if (v > std::numeric_limits<std::uint32_t>::max()) {
       throw TraceError("trace corrupt: field out of range");
     }
@@ -373,39 +406,60 @@ bool TraceReader::next(TraceEvent& ev) {
       break;
     case TraceEventKind::kWireSend:
       ev.a = read_a();
-      ev.payload = read_character(is_);
+      ev.payload = read_character(is);
       break;
     case TraceEventKind::kInject:
       ev.a = read_a();
-      ev.b = get_u8(is_);
-      ev.payload = read_character(is_);
+      ev.b = get_u8(is);
+      ev.payload = read_character(is);
       break;
     case TraceEventKind::kRootEvent:
       ev.a = read_a();
-      ev.b = get_u8(is_);
-      ev.c = get_u8(is_);
+      ev.b = get_u8(is);
+      ev.c = get_u8(is);
       break;
     case TraceEventKind::kRcaStart:
     case TraceEventKind::kRcaPhase:
     case TraceEventKind::kGrowErased:
       ev.a = read_a();
-      ev.b = get_u8(is_);
+      ev.b = get_u8(is);
       break;
   }
   return true;
 }
 
+bool TraceReader::next(TraceEvent& ev) {
+  return read_event_record(is_, ev, last_tick_);
+}
+
 void write_trace(std::ostream& os, const RecordedTrace& trace) {
   TraceWriter w(os, trace.header);
   for (const TraceEvent& ev : trace.events) w.write(ev);
+  os.flush();
+  if (!os.good()) {
+    throw Error("trace write failed: output stream error (disk full?)");
+  }
 }
 
 RecordedTrace read_trace(std::istream& is) {
+  // Sniff the container: "DTR1" is the original scan-only stream, "DTR2"
+  // the framed/compressed/indexed container (trace/container.cpp).
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic) {
+    throw TraceError("not a dtop trace: bad magic (want \"DTR1\"/\"DTR2\")");
+  }
+  if (std::equal(magic, magic + sizeof magic, kTrace2Magic)) {
+    return read_trace_dtr2_after_magic(is);
+  }
+  if (!std::equal(magic, magic + sizeof magic, kTraceMagic)) {
+    throw TraceError("not a dtop trace: bad magic (want \"DTR1\"/\"DTR2\")");
+  }
   RecordedTrace trace;
-  TraceReader r(is);
-  trace.header = r.header();
+  trace.header = read_header_tail(is);
   TraceEvent ev;
-  while (r.next(ev)) trace.events.push_back(ev);
+  Tick last_tick = 0;
+  while (read_event_record(is, ev, last_tick)) trace.events.push_back(ev);
   return trace;
 }
 

@@ -77,6 +77,21 @@ std::uint64_t read_varint(std::istream& is);
 void write_character(std::ostream& os, const Character& c);
 Character read_character(std::istream& is);
 
+// Single-event record codec, exposed for the DTR2 container
+// (trace/container.hpp): an event record is byte-identical in a DTR1 stream
+// and inside a DTR2 block. `last_tick` is the tick-delta baseline and is
+// advanced to ev.tick; a DTR2 block resets it to 0, which is what makes a
+// block independently decodable. read_event_record returns false on a clean
+// EOF at a record boundary and throws TraceError on truncation inside one.
+void write_event_record(std::ostream& os, const TraceEvent& ev,
+                        Tick& last_tick);
+bool read_event_record(std::istream& is, TraceEvent& ev, Tick& last_tick);
+
+// Header serialization minus the 4-byte magic (version byte + fields),
+// shared verbatim by DTR1 and the DTR2 header block.
+void write_header_tail(std::ostream& os, const TraceHeader& h);
+TraceHeader read_header_tail(std::istream& is);
+
 // Streaming writer: emits the header on construction, then one event per
 // write(). Events must arrive in non-decreasing tick order.
 class TraceWriter {
@@ -104,7 +119,12 @@ class TraceReader {
   Tick last_tick_ = 0;
 };
 
-// Whole-trace convenience wrappers.
+// Whole-trace convenience wrappers. write_trace emits DTR1 (the
+// uncompressed scan-only format; use trace/container.hpp's write_trace_dtr2
+// for the compressed indexed container); it flushes and throws Error when
+// the stream ends up in a failed state, so a full disk is loud, not a
+// silently truncated file. read_trace sniffs the magic and accepts both
+// DTR1 and DTR2 files.
 void write_trace(std::ostream& os, const RecordedTrace& trace);
 RecordedTrace read_trace(std::istream& is);
 

@@ -2,6 +2,7 @@
 // end-to-end run+verify round trip driven through cli_main() in-process.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -11,6 +12,7 @@
 #include "graph/canonical.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
+#include "trace/codec.hpp"
 #include "trace/trace_io.hpp"
 
 namespace dtop::cli {
@@ -626,6 +628,244 @@ TEST(CliMain, SweepTraceDirCapturesFailedJobs) {
   EXPECT_EQ(cli_main({"trace", "replay", "--trace", trace_path}, rout, rerr),
             0)
       << rerr.str();
+}
+
+TEST(CliParse, TraceWarehouseFlagSets) {
+  const TraceOptions rec = parse_trace_args(
+      {"record", "--family", "torus", "--nodes", "9", "--out", "t.dtrace",
+       "--format", "dtr1", "--codec", "raw"});
+  EXPECT_EQ(rec.format, "dtr1");
+  EXPECT_EQ(rec.codec, "raw");
+
+  const TraceOptions ex = parse_trace_args(
+      {"extract", "--trace", "a", "--out", "b", "--from-tick", "10",
+       "--to-tick", "20"});
+  EXPECT_EQ(ex.action, "extract");
+  EXPECT_EQ(ex.from_tick, 10);
+  EXPECT_EQ(ex.to_tick, 20);
+  EXPECT_EQ(ex.format, "dtr2");  // the default container
+
+  const TraceOptions sp = parse_trace_args(
+      {"splice", "--trace", "a", "--donor", "d", "--out", "b", "--from-event",
+       "5", "--to-event", "9"});
+  EXPECT_EQ(sp.donor, "d");
+  EXPECT_EQ(sp.from_event, 5);
+  EXPECT_EQ(sp.to_event, 9);
+
+  const TraceOptions ow = parse_trace_args(
+      {"overwrite", "--trace", "a", "--out", "b", "--scenario", "dfs@10",
+       "--seed", "7"});
+  EXPECT_EQ(ow.seed, 7u);
+  ASSERT_EQ(ow.scenarios.size(), 1u);
+
+  const TraceOptions co = parse_trace_args({"corpus", "--dir", "runs"});
+  EXPECT_EQ(co.corpus_dir, "runs");
+}
+
+TEST(CliParse, TraceWarehouseRejections) {
+  // surgery needs --trace and --out
+  EXPECT_THROW(parse_trace_args({"extract", "--trace", "a"}), UsageError);
+  EXPECT_THROW(parse_trace_args({"extract", "--out", "b"}), UsageError);
+  // one range vocabulary at a time, and ranges must be ordered
+  EXPECT_THROW(parse_trace_args({"extract", "--trace", "a", "--out", "b",
+                                 "--from-tick", "1", "--to-event", "5"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"extract", "--trace", "a", "--out", "b",
+                                 "--from-tick", "9", "--to-tick", "1"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"extract", "--trace", "a", "--out", "b",
+                                 "--from-event", "9", "--to-event", "1"}),
+               UsageError);
+  // splice needs a donor; overwrite needs an injection scenario
+  EXPECT_THROW(parse_trace_args({"splice", "--trace", "a", "--out", "b"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"overwrite", "--trace", "a", "--out", "b"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"overwrite", "--trace", "a", "--out", "b",
+                                 "--scenario", "budget@50"}),
+               UsageError);
+  // corpus needs --dir; its flags do not leak elsewhere
+  EXPECT_THROW(parse_trace_args({"corpus"}), UsageError);
+  EXPECT_THROW(parse_trace_args({"corpus", "--dir", "x", "--out", "y"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"inspect", "--trace", "x", "--dir", "y"}),
+               UsageError);
+  // container flags are validated at parse time
+  EXPECT_THROW(parse_trace_args({"record", "--family", "torus", "--out", "t",
+                                 "--format", "dtr3"}),
+               UsageError);
+  EXPECT_THROW(parse_trace_args({"record", "--family", "torus", "--out", "t",
+                                 "--codec", "lzma"}),
+               UsageError);
+  if (!trace::codec_available(trace::TraceCodec::kZstd)) {
+    EXPECT_THROW(parse_trace_args({"record", "--family", "torus", "--out",
+                                   "t", "--codec", "zstd"}),
+                 UsageError);
+  }
+  // --format/--codec are writer flags; inspect has no use for them
+  EXPECT_THROW(parse_trace_args({"inspect", "--trace", "x", "--format",
+                                 "dtr1"}),
+               UsageError);
+}
+
+TEST(CliMain, TraceRecordWritesBothContainers) {
+  const std::string p2 = temp_path("fmt2.dtrace");
+  const std::string p1 = temp_path("fmt1.dtrace");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "debruijn", "--nodes",
+                      "8", "--out", p2},
+                     out, err),
+            0)
+      << err.str();
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "debruijn", "--nodes",
+                      "8", "--format", "dtr1", "--out", p1},
+                     out, err),
+            0)
+      << err.str();
+
+  std::ostringstream i2, i1, e;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", p2, "--summary"}, i2, e),
+            0);
+  EXPECT_NE(i2.str().find("DTR2/"), std::string::npos) << i2.str();
+  EXPECT_NE(i2.str().find("indexed"), std::string::npos);
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", p1, "--summary"}, i1, e),
+            0);
+  EXPECT_NE(i1.str().find("DTR1"), std::string::npos) << i1.str();
+
+  // Same run, both containers: the payload decodes identically.
+  std::ostringstream dout, derr;
+  EXPECT_EQ(cli_main({"trace", "diff", "--a", p1, "--b", p2}, dout, derr), 0)
+      << dout.str();
+
+  // A huge --max must saturate, not wrap into an empty window.
+  std::ostringstream wout, werr;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", p2, "--start", "1",
+                      "--max", "18446744073709551615"},
+                     wout, werr),
+            0);
+  EXPECT_EQ(wout.str().find("more events"), std::string::npos) << "window "
+      "was clamped to empty";
+  EXPECT_NE(wout.str().find("[1]"), std::string::npos);
+}
+
+TEST(CliMain, TraceExtractCutsTheRequestedWindow) {
+  const std::string base = temp_path("exbase.dtrace");
+  const std::string cut = temp_path("excut.dtrace");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "torus", "--nodes", "9",
+                      "--out", base},
+                     out, err),
+            0);
+  std::ostringstream xout, xerr;
+  ASSERT_EQ(cli_main({"trace", "extract", "--trace", base, "--out", cut,
+                      "--from-event", "2", "--to-event", "7"},
+                     xout, xerr),
+            0)
+      << xerr.str();
+  EXPECT_NE(xout.str().find("Extracted 5 of "), std::string::npos)
+      << xout.str();
+  std::ostringstream iout, ierr;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", cut}, iout, ierr), 0);
+  EXPECT_NE(iout.str().find("5 events"), std::string::npos) << iout.str();
+}
+
+TEST(CliMain, TraceSpliceReproducesTheDonorRun) {
+  // Base: a clean run. Donor: the same instance with a fault injected.
+  // Grafting the donor's injections onto the base and re-recording must
+  // reproduce the donor's trace exactly — the whole point of splice output
+  // being a genuine re-recording.
+  const std::string base = temp_path("spbase.dtrace");
+  const std::string donor = temp_path("spdonor.dtrace");
+  const std::string spliced = temp_path("spliced.dtrace");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "debruijn", "--nodes",
+                      "8", "--out", base},
+                     out, err),
+            0);
+  (void)cli_main({"trace", "record", "--family", "debruijn", "--nodes", "8",
+                  "--scenario", "kill@40", "--out", donor},
+                 out, err);
+
+  std::ostringstream sout, serr;
+  (void)cli_main({"trace", "splice", "--trace", base, "--donor", donor,
+                  "--out", spliced},
+                 sout, serr);
+  EXPECT_NE(sout.str().find("Re-recorded"), std::string::npos) << serr.str();
+
+  std::ostringstream dout, derr;
+  EXPECT_EQ(cli_main({"trace", "diff", "--a", donor, "--b", spliced}, dout,
+                     derr),
+            0)
+      << dout.str();
+  std::ostringstream rout, rerr;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace", spliced}, rout, rerr), 0)
+      << rerr.str();
+}
+
+TEST(CliMain, TraceOverwriteSwapsTheInjections) {
+  const std::string donor = temp_path("owdonor.dtrace");
+  const std::string rewritten = temp_path("owout.dtrace");
+  std::ostringstream out, err;
+  (void)cli_main({"trace", "record", "--family", "debruijn", "--nodes", "8",
+                  "--scenario", "kill@40", "--out", donor},
+                 out, err);
+
+  std::ostringstream oout, oerr;
+  (void)cli_main({"trace", "overwrite", "--trace", donor, "--out", rewritten,
+                  "--scenario", "dfs@10", "--seed", "3"},
+                 oout, oerr);
+  EXPECT_NE(oout.str().find("dropped 1 recorded injections, adding 1"),
+            std::string::npos)
+      << oout.str();
+
+  std::ostringstream iout, ierr;
+  EXPECT_EQ(cli_main({"trace", "inspect", "--trace", rewritten, "--summary"},
+                     iout, ierr),
+            0);
+  EXPECT_NE(iout.str().find("inject=1"), std::string::npos) << iout.str();
+  std::ostringstream rout, rerr;
+  EXPECT_EQ(cli_main({"trace", "replay", "--trace", rewritten}, rout, rerr),
+            0)
+      << rerr.str();
+}
+
+TEST(CliMain, TraceCorpusAggregatesADirectory) {
+  const std::string dir = temp_path("corpus_dir");
+  std::filesystem::remove_all(dir);  // stale files from a prior run
+  std::filesystem::create_directories(dir + "/nested");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "torus", "--nodes", "9",
+                      "--out", dir + "/a.dtrace"},
+                     out, err),
+            0);
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "torus", "--nodes", "9",
+                      "--format", "dtr1", "--out", dir + "/nested/b.dtrace"},
+                     out, err),
+            0);
+  ASSERT_EQ(cli_main({"trace", "record", "--family", "debruijn", "--nodes",
+                      "8", "--out", dir + "/c.dtrace"},
+                     out, err),
+            0);
+
+  std::ostringstream cout1, cerr1;
+  EXPECT_EQ(cli_main({"trace", "corpus", "--dir", dir}, cout1, cerr1), 0)
+      << cerr1.str();
+  EXPECT_NE(cout1.str().find("3 trace files, 2 distinct instances"),
+            std::string::npos)
+      << cout1.str();
+  EXPECT_NE(cout1.str().find("| 2"), std::string::npos);  // the torus group
+
+  // An unreadable file becomes a listed failure and exit 1, not a crash.
+  std::ofstream(dir + "/junk.dtrace") << "not a trace";
+  std::ostringstream cout2, cerr2;
+  EXPECT_EQ(cli_main({"trace", "corpus", "--dir", dir}, cout2, cerr2), 1);
+  EXPECT_NE(cerr2.str().find("unreadable"), std::string::npos) << cerr2.str();
+
+  // A missing directory is a clean error.
+  std::ostringstream cout3, cerr3;
+  EXPECT_EQ(cli_main({"trace", "corpus", "--dir", dir + "/nope"}, cout3,
+                     cerr3),
+            1);
 }
 
 // ------------------------------ serve / client ----------------------------
